@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark modules (kept out of conftest.py so that
+regular ``import`` statements resolve unambiguously)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: number of simulated processors used by the table benchmarks (paper: 32)
+BENCH_NPROCS = int(os.environ.get("REPRO_BENCH_NPROCS", "32"))
+#: problem scale factor (1.0 = largest analogues)
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+#: analysis cache shared by all benchmarks
+BENCH_CACHE = os.environ.get(
+    "REPRO_BENCH_CACHE",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), ".repro_cache"),
+)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Table regenerations take seconds to minutes; multiple rounds would only
+    re-measure the analysis cache, so a single round is both faster and more
+    honest.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Ablation benchmark: amalgamation relaxation vs. tree granularity and memory.
+
+The granularity of the assembly tree (controlled by the relaxed-amalgamation
+parameter of the analysis) determines how much freedom the dynamic scheduling
+has; this ablation quantifies the trade-off on one problem.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.problems import get_problem
+from repro.mapping import compute_mapping
+from repro.ordering import compute_ordering
+from repro.runtime import FactorizationSimulator, SimulationConfig
+from repro.scheduling import get_strategy
+from repro.symbolic import build_assembly_tree
+
+from _bench_utils import BENCH_NPROCS, BENCH_SCALE
+
+
+def bench_amalgamation(problem="XENON2", ordering="metis"):
+    pattern = get_problem(problem).build(BENCH_SCALE)
+    perm = compute_ordering(pattern, ordering)
+    results = {}
+    for relax in (0.0, 0.1, 0.25, 0.5):
+        tree = build_assembly_tree(pattern, perm, amalgamation_relax=relax, keep_variables=False)
+        config = SimulationConfig(
+            nprocs=BENCH_NPROCS,
+            type2_front_threshold=96,
+            type2_cb_threshold=24,
+            type3_front_threshold=256,
+        )
+        mapping = compute_mapping(
+            tree, BENCH_NPROCS, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
+        )
+        slave, task = get_strategy("memory-full").build()
+        result = FactorizationSimulator(
+            tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task
+        ).run()
+        results[relax] = {
+            "nodes": tree.nnodes,
+            "factor_entries": tree.total_factor_entries(),
+            "max_peak": result.max_peak_stack,
+        }
+    print()
+    print(f"AMALGAMATION ABLATION — {problem}/{ordering.upper()}, memory-full strategy")
+    for relax, row in results.items():
+        print(
+            f"  relax={relax:4.2f}: {row['nodes']:5d} nodes, "
+            f"factors {row['factor_entries']:12,.0f} entries, max peak {row['max_peak']:12,.0f}"
+        )
+    return results
+
+
+def test_ablation_amalgamation(benchmark):
+    results = run_once(benchmark, bench_amalgamation)
+    nodes = [row["nodes"] for row in results.values()]
+    factors = [row["factor_entries"] for row in results.values()]
+    # more relaxation -> coarser trees and at least as many stored entries
+    assert nodes == sorted(nodes, reverse=True)
+    assert factors == sorted(factors)

@@ -1,0 +1,63 @@
+"""Ablation benchmark: sensitivity to the splitting threshold.
+
+The paper uses a fixed threshold of 2·10⁶ entries on the master part and
+notes that "the choice of the threshold for splitting may be improved and
+should be more matrix-dependent".  This benchmark sweeps the threshold on one
+unsymmetric case and reports the resulting peaks, which makes that remark
+quantitative for the analogue problems.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments.problems import get_problem
+from repro.mapping import compute_mapping
+from repro.runtime import FactorizationSimulator, SimulationConfig
+from repro.scheduling import get_strategy
+from repro.symbolic import split_large_masters
+
+
+def bench_split_threshold(runner, problem="TWOTONE", ordering="amd"):
+    analysis = runner.analysis(problem, ordering, split=False)
+    tree = analysis.tree
+    biggest = max(tree.master_entries(i) for i in range(tree.nnodes))
+    thresholds = [None] + [int(biggest * f) for f in (0.5, 0.25, 0.1, 0.05)]
+    results = {}
+    for threshold in thresholds:
+        if threshold is None:
+            work_tree, nodes_split = tree, 0
+        else:
+            work_tree, report = split_large_masters(tree, max(threshold, 100))
+            nodes_split = report.nodes_split
+        config = SimulationConfig(**{**runner.config.__dict__})
+        mapping = compute_mapping(
+            work_tree,
+            config.nprocs,
+            type2_front_threshold=config.type2_front_threshold,
+            type2_cb_threshold=config.type2_cb_threshold,
+            type3_front_threshold=config.type3_front_threshold,
+        )
+        slave, task = get_strategy("memory-full").build()
+        result = FactorizationSimulator(
+            work_tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task
+        ).run()
+        label = "no split" if threshold is None else f"{threshold:,} entries"
+        results[label] = {
+            "max_peak": result.max_peak_stack,
+            "nodes_split": nodes_split,
+            "nodes": work_tree.nnodes,
+        }
+    print()
+    print(f"SPLIT-THRESHOLD ABLATION — {problem}/{ordering.upper()} (memory-full strategy)")
+    for label, row in results.items():
+        print(f"  threshold {label:>18s}: max peak {row['max_peak']:12,.0f} entries, "
+              f"{row['nodes_split']:3d} nodes split, {row['nodes']:4d} tree nodes")
+    return results
+
+
+def test_ablation_split_threshold(benchmark, runner):
+    results = run_once(benchmark, bench_split_threshold, runner)
+    peaks = [row["max_peak"] for row in results.values()]
+    baseline = peaks[0]
+    # splitting must never make the peak dramatically worse, and the sweep
+    # must contain at least one configuration at least as good as no-split
+    assert min(peaks) <= baseline * 1.02

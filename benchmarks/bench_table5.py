@@ -1,0 +1,34 @@
+"""Benchmark regenerating Table 5.
+
+Percentage decrease of the maximum stack peak when BOTH the static splitting
+and the dynamic memory-based strategies are applied, compared with the
+original MUMPS strategy on the unmodified tree (unsymmetric problems).
+
+Expected shape (paper): the largest gains of the study (up to ~50% for
+TWOTONE/AMF in the paper), with possibly a couple of slightly negative
+entries caused by Algorithm 2 pathologies the paper itself discusses.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments import tables
+
+
+def bench_table5(runner):
+    rows = tables.table5(runner)
+    print()
+    print(
+        tables.format_table(
+            rows,
+            title="TABLE 5 — % decrease of max stack peak, static splitting + dynamic memory vs original MUMPS",
+        )
+    )
+    return rows
+
+
+def test_table5(benchmark, runner):
+    rows = run_once(benchmark, bench_table5, runner)
+    values = [v for row in rows.values() for v in row.values()]
+    # combining static and dynamic approaches should pay off on average
+    assert np.mean(values) > -10.0

@@ -1,0 +1,32 @@
+"""Shared configuration of the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one table of the paper and each entry of
+``bench_figures.py`` one illustrative figure.  The heavy lifting (analysis of
+8 problems × 4 orderings) is shared through a session-scoped
+:class:`repro.experiments.ExperimentRunner` with an on-disk cache, so the
+whole harness costs one analysis pass regardless of how many tables are
+regenerated.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_NPROCS``
+    Number of simulated processors (default 32, like the paper).
+``REPRO_BENCH_SCALE``
+    Problem scale factor (default 0.6; 1.0 gives the largest analogues).
+``REPRO_BENCH_CACHE``
+    Analysis cache directory (default ``.repro_cache`` inside the repo).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_CACHE, BENCH_NPROCS, BENCH_SCALE  # noqa: F401  (re-exported)
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The shared experiment runner used by every table benchmark."""
+    return ExperimentRunner(nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir=BENCH_CACHE)

@@ -1,0 +1,118 @@
+"""repro — reproduction of *Memory-based scheduling for a parallel multifrontal solver*.
+
+Guermouche & L'Excellent (LIP RR2004-17 / IPPS 2004) propose dynamic,
+memory-based scheduling strategies for the parallel multifrontal solver
+MUMPS: a memory-levelling slave selection for type-2 nodes (Algorithm 1),
+static-knowledge injection into that selection (subtree peaks and predicted
+master tasks, Section 5.1), a memory-aware task selection in the local pools
+(Algorithm 2), and a static splitting of nodes with large master parts.
+
+This package rebuilds the whole stack needed to study those strategies
+offline:
+
+* a sparse-pattern substrate and synthetic analogues of the paper's test
+  matrices (:mod:`repro.sparse`, :mod:`repro.experiments.problems`);
+* fill-reducing orderings standing in for METIS, PORD, AMD and AMF
+  (:mod:`repro.ordering`);
+* the symbolic analysis producing assembly trees, plus the splitting and the
+  sequential memory models (:mod:`repro.symbolic`, :mod:`repro.analysis`);
+* the static mapping and a discrete-event simulator of the asynchronous
+  parallel factorization (:mod:`repro.mapping`, :mod:`repro.runtime`);
+* the scheduling strategies themselves (:mod:`repro.scheduling`);
+* the experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import quick_compare
+>>> quick_compare("XENON2", "metis", nprocs=8, scale=0.4)   # doctest: +SKIP
+{'baseline_peak': ..., 'candidate_peak': ..., 'gain_percent': ...}
+"""
+
+from __future__ import annotations
+
+from repro.sparse import SparsePattern
+from repro.ordering import compute_ordering, ORDERINGS
+from repro.symbolic import AssemblyTree, build_assembly_tree, split_large_masters
+from repro.analysis import sequential_memory_trace, sequential_stack_peak
+from repro.mapping import compute_mapping, StaticMapping, NodeType
+from repro.runtime import FactorizationSimulator, SimulationConfig, SimulationResult
+from repro.scheduling import STRATEGIES, get_strategy
+from repro.experiments import ExperimentRunner, PROBLEMS, get_problem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparsePattern",
+    "compute_ordering",
+    "ORDERINGS",
+    "AssemblyTree",
+    "build_assembly_tree",
+    "split_large_masters",
+    "sequential_memory_trace",
+    "sequential_stack_peak",
+    "compute_mapping",
+    "StaticMapping",
+    "NodeType",
+    "FactorizationSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "STRATEGIES",
+    "get_strategy",
+    "ExperimentRunner",
+    "PROBLEMS",
+    "get_problem",
+    "quick_compare",
+    "simulate",
+]
+
+
+def simulate(
+    pattern: SparsePattern,
+    *,
+    ordering: str = "metis",
+    strategy: str = "memory-full",
+    nprocs: int = 32,
+    split_threshold: int | None = None,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """One-call pipeline: pattern → ordering → tree → mapping → simulation.
+
+    Convenience wrapper for scripts and examples; the experiment harness uses
+    :class:`repro.experiments.ExperimentRunner` instead (it caches the
+    analysis products across strategies).
+    """
+    perm = compute_ordering(pattern, ordering)
+    tree = build_assembly_tree(pattern, perm)
+    if split_threshold is not None:
+        tree, _ = split_large_masters(tree, split_threshold)
+    if config is None:
+        config = SimulationConfig(
+            nprocs=nprocs,
+            type2_front_threshold=96,
+            type2_cb_threshold=24,
+            type3_front_threshold=256,
+        )
+    preset = get_strategy(strategy)
+    slave_selector, task_selector = preset.build()
+    simulator = FactorizationSimulator(
+        tree,
+        config=config,
+        slave_selector=slave_selector,
+        task_selector=task_selector,
+        strategy_name=strategy,
+    )
+    return simulator.run()
+
+
+def quick_compare(
+    problem: str,
+    ordering: str = "metis",
+    *,
+    nprocs: int = 32,
+    scale: float = 1.0,
+    split: bool = False,
+) -> dict[str, float]:
+    """Compare the paper's memory strategy against the MUMPS baseline on one case."""
+    runner = ExperimentRunner(nprocs=nprocs, scale=scale)
+    return runner.compare(problem, ordering, split_baseline=split, split_candidate=split)

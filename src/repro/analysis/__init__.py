@@ -1,0 +1,31 @@
+"""Sequential analysis models: frontal-matrix flops/entries and stack memory."""
+
+from repro.analysis.flops import (
+    front_entries,
+    factor_entries,
+    cb_entries,
+    partial_factorization_flops,
+    assembly_flops,
+    type2_master_flops,
+    type2_slave_flops,
+)
+from repro.analysis.memory import (
+    MemoryTrace,
+    sequential_memory_trace,
+    sequential_stack_peak,
+    subtree_stack_peaks,
+)
+
+__all__ = [
+    "front_entries",
+    "factor_entries",
+    "cb_entries",
+    "partial_factorization_flops",
+    "assembly_flops",
+    "type2_master_flops",
+    "type2_slave_flops",
+    "MemoryTrace",
+    "sequential_memory_trace",
+    "sequential_stack_peak",
+    "subtree_stack_peaks",
+]

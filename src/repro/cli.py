@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+Regenerate Table 2 on 8 simulated processors at reduced scale::
+
+    python -m repro table2 --nprocs 8 --scale 0.4
+
+Regenerate every table and figure (the full evaluation)::
+
+    python -m repro all --nprocs 32 --scale 1.0 --cache .repro_cache
+
+List the available problems, orderings and strategies::
+
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ExperimentRunner, PROBLEMS
+from repro.experiments import figures as figures_mod
+from repro.experiments import tables as tables_mod
+from repro.ordering import ORDERINGS
+from repro.scheduling import STRATEGIES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Memory-based scheduling for a parallel multifrontal solver'",
+    )
+    parser.add_argument("target", help="table1..table6, figure1..figure8, 'all', 'tables', 'figures' or 'list'")
+    parser.add_argument("--nprocs", type=int, default=32, help="number of simulated processors (paper: 32)")
+    parser.add_argument("--scale", type=float, default=1.0, help="problem scale factor (1.0 = full analogue size)")
+    parser.add_argument("--cache", default="", help="directory for the analysis cache (optional)")
+    parser.add_argument(
+        "--problems", default="", help="comma-separated subset of problems (default: the table's own set)"
+    )
+    parser.add_argument(
+        "--orderings", default="", help="comma-separated subset of orderings (default: metis,pord,amd,amf)"
+    )
+    return parser
+
+
+def _print_listing() -> None:
+    print("problems:")
+    for name, spec in PROBLEMS.items():
+        print(f"  {name:12s} {'SYM' if spec.symmetric else 'UNS'}  {spec.description}")
+    print("orderings:", ", ".join(sorted(ORDERINGS)))
+    print("strategies:")
+    for name, strategy in STRATEGIES.items():
+        print(f"  {name:15s} {strategy.description}")
+
+
+def _run_tables(runner: ExperimentRunner, names: list[str], problems, orderings) -> None:
+    for name in names:
+        fn = tables_mod.ALL_TABLES[name]
+        start = time.time()
+        kwargs = {}
+        if problems and name != "table4":
+            kwargs["problems"] = problems
+        if orderings and name not in ("table1", "table4"):
+            kwargs["orderings"] = orderings
+        rows = fn(runner, **kwargs)
+        print()
+        print(tables_mod.format_table(rows, title=f"=== {name.upper()} (regenerated in {time.time() - start:.1f}s) ==="))
+
+
+def _run_figures(names: list[str]) -> None:
+    for name in names:
+        fn = figures_mod.ALL_FIGURES[name]
+        data = fn()
+        print()
+        print(f"=== {name.upper()} ===")
+        print(data.get("ascii", repr(data)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    target = args.target.lower()
+
+    if target == "list":
+        _print_listing()
+        return 0
+
+    problems = [p.strip().upper() for p in args.problems.split(",") if p.strip()] or None
+    orderings = [o.strip().lower() for o in args.orderings.split(",") if o.strip()] or None
+
+    table_names = [t for t in tables_mod.ALL_TABLES]
+    figure_names = [f for f in figures_mod.ALL_FIGURES]
+
+    wanted_tables: list[str] = []
+    wanted_figures: list[str] = []
+    if target == "all":
+        wanted_tables = table_names
+        wanted_figures = figure_names
+    elif target == "tables":
+        wanted_tables = table_names
+    elif target == "figures":
+        wanted_figures = figure_names
+    elif target in tables_mod.ALL_TABLES:
+        wanted_tables = [target]
+    elif target in figures_mod.ALL_FIGURES:
+        wanted_figures = [target]
+    else:
+        parser.error(f"unknown target {args.target!r}")
+
+    if wanted_tables:
+        runner = ExperimentRunner(nprocs=args.nprocs, scale=args.scale, cache_dir=args.cache or None)
+        _run_tables(runner, wanted_tables, problems, orderings)
+    if wanted_figures:
+        _run_figures(wanted_figures)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Evaluation harness: the paper's test problems, tables and figures.
+
+* :mod:`repro.experiments.problems` — synthetic analogues of the eight
+  matrices of Table 1 (the real collections are not redistributable and not
+  available offline), with the same symmetric/unsymmetric split and the same
+  structural regimes;
+* :mod:`repro.experiments.runner` — runs (problem × ordering × splitting ×
+  strategy) cases through the full pipeline with caching of the analysis
+  phase;
+* :mod:`repro.experiments.tables` — regenerates Tables 1–6;
+* :mod:`repro.experiments.figures` — regenerates the illustrative Figures 1–8
+  as ascii/structured data.
+"""
+
+from repro.experiments.problems import ProblemSpec, PROBLEMS, get_problem, SYMMETRIC_PROBLEMS, UNSYMMETRIC_PROBLEMS
+from repro.experiments.runner import ExperimentRunner, CaseResult, ORDERING_NAMES
+from repro.experiments import tables
+from repro.experiments import figures
+
+__all__ = [
+    "ProblemSpec",
+    "PROBLEMS",
+    "get_problem",
+    "SYMMETRIC_PROBLEMS",
+    "UNSYMMETRIC_PROBLEMS",
+    "ExperimentRunner",
+    "CaseResult",
+    "ORDERING_NAMES",
+    "tables",
+    "figures",
+]

@@ -1,0 +1,189 @@
+"""Regeneration of the paper's Tables 1-6.
+
+Every function returns the table as structured data (a dict of dicts keyed
+like the paper's rows and columns) and can also render it as plain text with
+:func:`format_table`.  The comparisons follow the paper exactly:
+
+* **Table 1** — the test problems (analogue order/nnz next to the paper's);
+* **Table 2** — % decrease of the maximum stack peak, dynamic memory strategy
+  vs. MUMPS workload strategy, no splitting, 8 matrices × 4 orderings;
+* **Table 3** — same comparison on trees whose large type-2 masters have been
+  split (unsymmetric matrices, as in the paper);
+* **Table 4** — absolute peaks (millions of entries) for two illustrative
+  cases, crossing {no splitting, splitting} × {workload, memory};
+* **Table 5** — % decrease of memory strategy *plus* splitting vs. the
+  original MUMPS strategy without splitting (unsymmetric matrices);
+* **Table 6** — factorization-time loss (%) of the memory-optimised strategy
+  for three large problems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.experiments.problems import PROBLEMS, SYMMETRIC_PROBLEMS, UNSYMMETRIC_PROBLEMS, get_problem
+from repro.experiments.runner import ORDERING_NAMES, ExperimentRunner, percentage_decrease
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "format_table",
+    "ALL_TABLES",
+]
+
+BASELINE = "mumps-workload"
+MEMORY = "memory-full"
+
+#: (problem, ordering) pairs of Table 4 — the paper's two illustrative cases.
+TABLE4_CASES = [("ULTRASOUND3", "metis"), ("XENON2", "amf")]
+
+#: problems of Table 6 (three large test problems).
+TABLE6_PROBLEMS = ["SHIP_003", "PRE2", "ULTRASOUND3"]
+
+
+def table1(runner: ExperimentRunner, problems: Iterable[str] | None = None) -> dict[str, dict[str, object]]:
+    """Table 1: the test problems (analogue sizes next to the paper's)."""
+    rows: dict[str, dict[str, object]] = {}
+    for name in problems if problems is not None else PROBLEMS:
+        spec = get_problem(name)
+        pattern = runner.pattern(name)
+        rows[spec.name] = {
+            "Order": pattern.n,
+            "NZ": pattern.nnz,
+            "Type": "SYM" if spec.symmetric else "UNS",
+            "Paper order": spec.paper_order,
+            "Paper NZ": spec.paper_nnz,
+            "Description": spec.description,
+        }
+    return rows
+
+
+def _gain_table(
+    runner: ExperimentRunner,
+    problems: Sequence[str],
+    orderings: Sequence[str],
+    *,
+    split_baseline: bool,
+    split_candidate: bool,
+) -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for problem in problems:
+        row: dict[str, float] = {}
+        for ordering in orderings:
+            cmp = runner.compare(
+                problem,
+                ordering,
+                baseline=BASELINE,
+                candidate=MEMORY,
+                split_baseline=split_baseline,
+                split_candidate=split_candidate,
+            )
+            row[ordering.upper()] = round(cmp["gain_percent"], 1)
+        rows[problem] = row
+    return rows
+
+
+def table2(
+    runner: ExperimentRunner,
+    problems: Sequence[str] | None = None,
+    orderings: Sequence[str] = tuple(ORDERING_NAMES),
+) -> dict[str, dict[str, float]]:
+    """Table 2: % decrease of the max stack peak, memory vs. workload, no splitting."""
+    if problems is None:
+        problems = list(PROBLEMS)
+    return _gain_table(runner, list(problems), list(orderings), split_baseline=False, split_candidate=False)
+
+
+def table3(
+    runner: ExperimentRunner,
+    problems: Sequence[str] | None = None,
+    orderings: Sequence[str] = tuple(ORDERING_NAMES),
+) -> dict[str, dict[str, float]]:
+    """Table 3: same comparison on statically split trees (unsymmetric matrices)."""
+    if problems is None:
+        problems = list(UNSYMMETRIC_PROBLEMS)
+    return _gain_table(runner, list(problems), list(orderings), split_baseline=True, split_candidate=True)
+
+
+def table4(runner: ExperimentRunner, cases: Sequence[tuple[str, str]] = tuple(TABLE4_CASES)) -> dict[str, dict[str, float]]:
+    """Table 4: absolute max stack peaks (millions of entries) for two cases."""
+    rows: dict[str, dict[str, float]] = {}
+    for problem, ordering in cases:
+        label = f"{problem} - {ordering.upper()}"
+        row: dict[str, float] = {}
+        for strategy, strategy_label in ((BASELINE, "MUMPS dynamic"), (MEMORY, "memory-based dynamic")):
+            for split, split_label in ((False, "no splitting"), (True, "splitting")):
+                case = runner.run_case(problem, ordering, strategy, split=split)
+                row[f"{strategy_label} / {split_label}"] = round(case.max_peak_stack / 1e6, 3)
+        rows[label] = row
+    return rows
+
+
+def table5(
+    runner: ExperimentRunner,
+    problems: Sequence[str] | None = None,
+    orderings: Sequence[str] = tuple(ORDERING_NAMES),
+) -> dict[str, dict[str, float]]:
+    """Table 5: memory strategy + splitting vs. original MUMPS (no splitting)."""
+    if problems is None:
+        problems = list(UNSYMMETRIC_PROBLEMS)
+    return _gain_table(runner, list(problems), list(orderings), split_baseline=False, split_candidate=True)
+
+
+def table6(
+    runner: ExperimentRunner,
+    problems: Sequence[str] | None = None,
+    orderings: Sequence[str] = tuple(ORDERING_NAMES),
+) -> dict[str, dict[str, float]]:
+    """Table 6: factorization-time loss (%) of the memory-optimised strategy."""
+    if problems is None:
+        problems = list(TABLE6_PROBLEMS)
+    rows: dict[str, dict[str, float]] = {}
+    for problem in problems:
+        row: dict[str, float] = {}
+        for ordering in orderings:
+            base = runner.run_case(problem, ordering, BASELINE, split=False)
+            cand = runner.run_case(problem, ordering, MEMORY, split=True)
+            loss = (
+                100.0 * (cand.total_time - base.total_time) / base.total_time
+                if base.total_time > 0
+                else 0.0
+            )
+            row[ordering.upper()] = round(loss, 1)
+        rows[problem] = row
+    return rows
+
+
+ALL_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+}
+
+
+def format_table(rows: Mapping[str, Mapping[str, object]], *, title: str = "") -> str:
+    """Render a table (dict of rows, each a dict of columns) as aligned text."""
+    if not rows:
+        return title
+    columns = list(next(iter(rows.values())).keys())
+    row_width = max(len(str(r)) for r in rows) + 2
+    col_widths = [max(len(str(c)), max(len(str(row.get(c, ""))) for row in rows.values())) + 2 for c in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * row_width + "".join(str(c).rjust(w) for c, w in zip(columns, col_widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in rows.items():
+        lines.append(
+            str(name).ljust(row_width)
+            + "".join(str(row.get(c, "")).rjust(w) for c, w in zip(columns, col_widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Static mapping of the assembly tree onto the processors (Section 3).
+
+MUMPS combines a static phase — computed during the analysis — with dynamic
+decisions taken during the factorization.  The static phase determined here
+mirrors the description of Section 3 of the paper:
+
+* leaf subtrees are built with the Geist-Ng top-down algorithm and mapped to
+  processors so that their computational work is balanced;
+* nodes above the subtree layer are *type 1* (one processor), *type 2*
+  (1-D row-distributed: one master plus dynamically chosen slaves) or
+  *type 3* (the root, 2-D block-cyclic over all processors);
+* masters of upper-layer nodes are assigned statically so as to balance the
+  memory of the corresponding factors.
+"""
+
+from repro.mapping.geist_ng import geist_ng_layer
+from repro.mapping.subtree_map import map_subtrees_to_processors
+from repro.mapping.layers import NodeType, StaticMapping, compute_mapping
+
+__all__ = [
+    "geist_ng_layer",
+    "map_subtrees_to_processors",
+    "NodeType",
+    "StaticMapping",
+    "compute_mapping",
+]

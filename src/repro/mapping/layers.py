@@ -1,0 +1,203 @@
+"""Node types and static master assignment (the upper layers of the tree).
+
+Above the leaf-subtree layer, every node is assigned a parallelism *type*
+(Figure 2 of the paper):
+
+* **type 1** — processed entirely by one statically chosen processor;
+* **type 2** — 1-D row parallelism: a statically chosen *master* eliminates
+  the fully summed block, dynamically chosen *slaves* update the remaining
+  rows;
+* **type 3** — the root node, processed by all processors (ScaLAPACK 2-D
+  block-cyclic in MUMPS; modelled here as an even split).
+
+The static master assignment "only aims at balancing the memory of the
+corresponding factors" (Section 3), which is what :func:`compute_mapping`
+implements with a greedy bin-balancing pass over the upper-layer nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.mapping.geist_ng import geist_ng_layer
+from repro.mapping.subtree_map import map_subtrees_to_processors
+
+__all__ = ["NodeType", "StaticMapping", "compute_mapping"]
+
+
+class NodeType(IntEnum):
+    """Parallelism type of an assembly-tree node."""
+
+    SUBTREE = 0   # type 1 node inside a leaf subtree
+    TYPE1 = 1     # type 1 node of the upper layers
+    TYPE2 = 2     # 1-D parallel node (master + dynamic slaves)
+    TYPE3 = 3     # root node, 2-D parallel over all processors
+
+
+@dataclass
+class StaticMapping:
+    """Result of the static mapping phase.
+
+    Attributes
+    ----------
+    nprocs:
+        Number of processors.
+    node_type:
+        Per-node :class:`NodeType`.
+    owner:
+        Per-node statically assigned processor: the processor of the subtree
+        for SUBTREE nodes, the owner for upper TYPE1 nodes, the master for
+        TYPE2 nodes, and ``-1`` for the TYPE3 root (owned by everybody).
+    subtree_roots:
+        Roots of the leaf subtrees (Geist-Ng layer).
+    subtree_of:
+        Per-node index of the leaf subtree root it belongs to, or ``-1`` for
+        upper-layer nodes.
+    candidates:
+        Per-node list of processors allowed to serve as slaves (TYPE2 nodes
+        only; empty for others).
+    """
+
+    nprocs: int
+    node_type: np.ndarray
+    owner: np.ndarray
+    subtree_roots: list[int]
+    subtree_of: np.ndarray
+    candidates: dict[int, list[int]] = field(default_factory=dict)
+
+    def nodes_of_type(self, kind: NodeType) -> list[int]:
+        return [i for i in range(len(self.node_type)) if self.node_type[i] == kind]
+
+    def statically_assigned_nodes(self, proc: int) -> list[int]:
+        """Nodes whose (master) task runs on ``proc``: subtree, type-1 and type-2 masters."""
+        return [i for i in range(len(self.owner)) if int(self.owner[i]) == proc]
+
+    def initial_load(self, tree, proc: int) -> float:
+        """Initial workload of ``proc``: flops of everything statically assigned to it."""
+        total = 0.0
+        for i in self.statically_assigned_nodes(proc):
+            if self.node_type[i] == NodeType.TYPE2:
+                total += tree.type2_master_flops(i)
+            else:
+                total += tree.factor_flops(i)
+        # everyone takes an even share of the type-3 root
+        for i in self.nodes_of_type(NodeType.TYPE3):
+            total += tree.factor_flops(i) / self.nprocs
+        return total
+
+    def summary(self, tree) -> dict[str, float]:
+        """Aggregate statistics used by the Figure 2 benchmark and the examples."""
+        counts = {t.name: 0 for t in NodeType}
+        for i in range(len(self.node_type)):
+            counts[NodeType(int(self.node_type[i])).name] += 1
+        flops_by_type = {t.name: 0.0 for t in NodeType}
+        for i in range(len(self.node_type)):
+            flops_by_type[NodeType(int(self.node_type[i])).name] += tree.factor_flops(i)
+        total_flops = max(sum(flops_by_type.values()), 1.0)
+        out: dict[str, float] = {"nprocs": float(self.nprocs), "subtrees": float(len(self.subtree_roots))}
+        for t in NodeType:
+            out[f"count_{t.name.lower()}"] = float(counts[t.name])
+            out[f"flops_share_{t.name.lower()}"] = flops_by_type[t.name] / total_flops
+        return out
+
+
+def compute_mapping(
+    tree,
+    nprocs: int,
+    *,
+    type2_front_threshold: int = 200,
+    type2_cb_threshold: int = 40,
+    type3_front_threshold: int = 400,
+    imbalance_tolerance: float = 1.25,
+    min_subtrees_per_proc: float = 1.0,
+    subtree_cost: str = "flops",
+) -> StaticMapping:
+    """Static mapping of ``tree`` over ``nprocs`` processors.
+
+    Parameters
+    ----------
+    type2_front_threshold, type2_cb_threshold:
+        An upper-layer node becomes type 2 when its front order reaches the
+        first threshold and its contribution block the second (small CBs give
+        nothing to distribute to slaves).
+    type3_front_threshold:
+        The largest root becomes type 3 when its front reaches this order and
+        more than one processor is available.
+    subtree_cost:
+        Cost metric for the subtree-to-processor mapping (see
+        :func:`map_subtrees_to_processors`).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    n = tree.nnodes
+    node_type = np.full(n, int(NodeType.TYPE1), dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+    subtree_of = np.full(n, -1, dtype=np.int64)
+
+    # ---------------- leaf subtrees (Geist-Ng + LPT mapping) -------------- #
+    subtree_roots = geist_ng_layer(
+        tree,
+        nprocs,
+        imbalance_tolerance=imbalance_tolerance,
+        min_subtrees_per_proc=min_subtrees_per_proc,
+    )
+    subtree_proc = map_subtrees_to_processors(tree, subtree_roots, nprocs, cost=subtree_cost)
+    for r in subtree_roots:
+        for j in tree.subtree_nodes(r):
+            node_type[j] = int(NodeType.SUBTREE)
+            owner[j] = subtree_proc[r]
+            subtree_of[j] = r
+
+    # ---------------- node types of the upper layers ---------------------- #
+    upper = [i for i in range(n) if node_type[i] != int(NodeType.SUBTREE)]
+    if nprocs > 1 and upper:
+        # the largest root becomes type 3
+        roots = [r for r in tree.roots if node_type[r] != int(NodeType.SUBTREE)]
+        if roots:
+            top = max(roots, key=lambda r: int(tree.nfront[r]))
+            if int(tree.nfront[top]) >= type3_front_threshold:
+                node_type[top] = int(NodeType.TYPE3)
+        for i in upper:
+            if node_type[i] == int(NodeType.TYPE3):
+                continue
+            if (
+                int(tree.nfront[i]) >= type2_front_threshold
+                and tree.cb_order(i) >= type2_cb_threshold
+            ):
+                node_type[i] = int(NodeType.TYPE2)
+
+    # ---------------- static master assignment ---------------------------- #
+    # Balance the factor memory of the upper-layer masters (Section 3).
+    factor_bins = np.zeros(nprocs, dtype=np.float64)
+    # seed the bins with the factors produced by the subtrees
+    for r in subtree_roots:
+        factor_bins[subtree_proc[r]] += tree.subtree_factor_entries(r)
+    upper_sorted = sorted(
+        (i for i in upper if node_type[i] != int(NodeType.TYPE3)),
+        key=lambda i: -tree.factor_entries(i),
+    )
+    for i in upper_sorted:
+        if node_type[i] == int(NodeType.TYPE2):
+            my_entries = tree.master_entries(i)
+        else:
+            my_entries = tree.factor_entries(i)
+        p = int(np.argmin(factor_bins))
+        owner[i] = p
+        factor_bins[p] += my_entries
+
+    candidates: dict[int, list[int]] = {}
+    for i in upper:
+        if node_type[i] == int(NodeType.TYPE2):
+            candidates[i] = [p for p in range(nprocs)]
+
+    return StaticMapping(
+        nprocs=nprocs,
+        node_type=node_type,
+        owner=owner,
+        subtree_roots=list(subtree_roots),
+        subtree_of=subtree_of,
+        candidates=candidates,
+    )

@@ -1,0 +1,81 @@
+"""Reverse Cuthill-McKee ordering.
+
+Not used in the paper's tables, but a useful extra baseline: RCM produces
+band-like factors and path-like assembly trees, the opposite extreme of
+nested dissection, which makes it handy in tests and in the ordering-impact
+example (the paper stresses that the tree topology is driven by the
+ordering).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.sparse.pattern import SparsePattern
+
+__all__ = ["rcm_ordering", "pseudo_peripheral_node", "bfs_levels"]
+
+
+def bfs_levels(indptr: np.ndarray, indices: np.ndarray, start: int, mask: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """BFS level of every reachable vertex (−1 for unreachable), plus the order."""
+    n = len(indptr) - 1
+    level = np.full(n, -1, dtype=np.int64)
+    level[start] = 0
+    order = [start]
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for p in range(indptr[u], indptr[u + 1]):
+            v = int(indices[p])
+            if mask[v] and level[v] < 0:
+                level[v] = level[u] + 1
+                order.append(v)
+                queue.append(v)
+    return level, order
+
+
+def pseudo_peripheral_node(indptr: np.ndarray, indices: np.ndarray, start: int, mask: np.ndarray) -> int:
+    """Vertex far away from ``start`` (George-Liu pseudo-peripheral heuristic)."""
+    current = start
+    last_ecc = -1
+    for _ in range(8):  # converges in a handful of sweeps
+        level, order = bfs_levels(indptr, indices, current, mask)
+        ecc = int(level[order[-1]])
+        if ecc <= last_ecc:
+            break
+        last_ecc = ecc
+        # restart from a minimum-degree vertex of the last level
+        last_level = [v for v in order if level[v] == ecc]
+        degs = [indptr[v + 1] - indptr[v] for v in last_level]
+        current = last_level[int(np.argmin(degs))]
+    return current
+
+
+def rcm_ordering(pattern: SparsePattern) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of the symmetrized pattern."""
+    indptr, indices = pattern.adjacency()
+    n = pattern.n
+    visited = np.zeros(n, dtype=bool)
+    mask = np.ones(n, dtype=bool)
+    order: list[int] = []
+    degrees = np.diff(indptr)
+    for comp_start in np.argsort(degrees):
+        comp_start = int(comp_start)
+        if visited[comp_start]:
+            continue
+        start = pseudo_peripheral_node(indptr, indices, comp_start, mask & ~visited)
+        # Cuthill-McKee from the peripheral node
+        visited[start] = True
+        order.append(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            neigh = [int(indices[p]) for p in range(indptr[u], indptr[u + 1]) if not visited[int(indices[p])]]
+            neigh.sort(key=lambda v: (degrees[v], v))
+            for v in neigh:
+                visited[v] = True
+                order.append(v)
+                queue.append(v)
+    return np.asarray(order[::-1], dtype=np.int64)

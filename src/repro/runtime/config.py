@@ -1,0 +1,80 @@
+"""Configuration of the parallel factorization simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass
+class SimulationConfig:
+    """Machine and policy parameters of the simulated run.
+
+    The absolute values only set the time scale (Table 6 uses ratios); the
+    defaults approximate one Power4 node of the paper's IBM SP.
+
+    Attributes
+    ----------
+    nprocs:
+        Number of processors (the paper uses 32).
+    flop_rate:
+        Sustained flops per second and per processor.
+    latency:
+        One-way message latency in seconds (applies to every message).
+    bandwidth_entries:
+        Entries per second transferred once the latency is paid (an entry is
+        one floating-point value, the paper's memory unit).
+    assembly_rate:
+        Entry-additions per second during assembly (memory-bound, slower than
+        the factorization kernels).
+    min_rows_per_slave:
+        Granularity constraint of the slave selection: a slave receives at
+        least this many rows (unless fewer remain).
+    max_slaves_per_node:
+        Upper bound on the number of slaves of one type-2 node.
+    type2_front_threshold, type2_cb_threshold, type3_front_threshold:
+        Node-type thresholds forwarded to the static mapping.
+    memory_message_latency:
+        Latency of the small bookkeeping broadcasts (memory/load/prediction).
+        The paper's Figure 5 hazard comes precisely from this delay.
+    track_traces:
+        Record full per-processor memory traces (needed by the figure
+        benchmarks; costs memory for big runs).
+    imbalance_tolerance, min_subtrees_per_proc:
+        Geist-Ng layer construction parameters.
+    """
+
+    nprocs: int = 32
+    flop_rate: float = 2.0e9
+    latency: float = 20.0e-6
+    bandwidth_entries: float = 5.0e7
+    assembly_rate: float = 2.0e8
+    min_rows_per_slave: int = 16
+    max_slaves_per_node: int = 0  # 0 means "no explicit bound" (all processors)
+    type2_front_threshold: int = 200
+    type2_cb_threshold: int = 40
+    type3_front_threshold: int = 400
+    memory_message_latency: float = 20.0e-6
+    track_traces: bool = False
+    imbalance_tolerance: float = 1.25
+    min_subtrees_per_proc: float = 1.0
+    subtree_cost: str = "flops"
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.flop_rate <= 0 or self.bandwidth_entries <= 0 or self.assembly_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.latency < 0 or self.memory_message_latency < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.min_rows_per_slave < 1:
+            raise ValueError("min_rows_per_slave must be >= 1")
+        if self.max_slaves_per_node < 0:
+            raise ValueError("max_slaves_per_node must be >= 0")
+
+    def effective_max_slaves(self) -> int:
+        """Largest number of slaves a type-2 node may use."""
+        if self.max_slaves_per_node == 0:
+            return max(self.nprocs - 1, 1)
+        return min(self.max_slaves_per_node, max(self.nprocs - 1, 1))

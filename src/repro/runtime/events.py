@@ -1,0 +1,71 @@
+"""Event queue of the discrete-event simulator.
+
+A tiny priority queue keyed by ``(time, sequence)``: the sequence number makes
+the simulation fully deterministic when several events share a timestamp
+(frequent with zero-latency configurations used in tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["EventQueue", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One scheduled event: a timestamp, a tie-breaking sequence and a payload."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the last popped event (the simulation clock)."""
+        return self._now
+
+    def push(self, time: float, payload: Any) -> ScheduledEvent:
+        """Schedule ``payload`` at absolute ``time``."""
+        if time < self._now - 1e-15:
+            raise ValueError(f"cannot schedule event in the past ({time} < {self._now})")
+        ev = ScheduledEvent(time=float(time), seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def push_after(self, delay: float, payload: Any) -> ScheduledEvent:
+        """Schedule ``payload`` ``delay`` seconds after the current clock."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.push(self._now + delay, payload)
+
+    def pop(self) -> ScheduledEvent:
+        """Pop the next event and advance the clock."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[ScheduledEvent]:
+        """Iterate over the remaining events in time order (consuming them)."""
+        while self._heap:
+            yield self.pop()

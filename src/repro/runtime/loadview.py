@@ -1,0 +1,90 @@
+"""Stale remote views of the other processors.
+
+Every processor keeps an approximate view of the others: their stack
+occupation (fed by the memory-variation broadcasts of Section 4), their
+remaining workload (MUMPS' original metric, Section 3), the peak of the
+subtree they are currently processing and the cost of the next master task
+they are about to activate (the two Section 5.1 prediction mechanisms).
+
+The views are only updated when the corresponding broadcast *arrives*, so
+they lag reality by the message latency — exactly the coherence hazard the
+paper illustrates in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SystemView"]
+
+
+@dataclass
+class SystemView:
+    """What one processor believes about the whole system."""
+
+    nprocs: int
+    owner: int
+    memory: np.ndarray = field(default=None)
+    load: np.ndarray = field(default=None)
+    subtree_peak: np.ndarray = field(default=None)
+    predicted_master: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.memory is None:
+            self.memory = np.zeros(self.nprocs, dtype=np.float64)
+        if self.load is None:
+            self.load = np.zeros(self.nprocs, dtype=np.float64)
+        if self.subtree_peak is None:
+            self.subtree_peak = np.zeros(self.nprocs, dtype=np.float64)
+        if self.predicted_master is None:
+            self.predicted_master = np.zeros(self.nprocs, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # updates driven by message arrivals (or by local knowledge)
+    # ------------------------------------------------------------------ #
+    def set_memory(self, proc: int, value: float) -> None:
+        self.memory[proc] = value
+
+    def add_memory(self, proc: int, delta: float) -> None:
+        """Apply an increment (used for slave reservations known in advance)."""
+        self.memory[proc] = max(self.memory[proc] + delta, 0.0)
+
+    def set_load(self, proc: int, value: float) -> None:
+        self.load[proc] = max(value, 0.0)
+
+    def set_subtree_peak(self, proc: int, value: float) -> None:
+        self.subtree_peak[proc] = max(value, 0.0)
+
+    def set_predicted_master(self, proc: int, value: float) -> None:
+        self.predicted_master[proc] = max(value, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # metrics used by the slave-selection strategies
+    # ------------------------------------------------------------------ #
+    def instantaneous_memory(self, proc: int) -> float:
+        """Believed stack occupation of ``proc`` (Section 4 metric)."""
+        return float(self.memory[proc])
+
+    def effective_memory(self, proc: int, *, with_predictions: bool = True) -> float:
+        """Slave-selection metric of Section 5.1.
+
+        Instantaneous memory plus the peak of the subtree the processor is
+        treating plus the predicted cost of its next upper-layer master task;
+        with ``with_predictions=False`` it degrades to the plain Section 4
+        metric.
+        """
+        value = float(self.memory[proc])
+        if with_predictions:
+            value += float(self.subtree_peak[proc]) + float(self.predicted_master[proc])
+        return value
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of the arrays (for traces and debugging)."""
+        return {
+            "memory": self.memory.copy(),
+            "load": self.load.copy(),
+            "subtree_peak": self.subtree_peak.copy(),
+            "predicted_master": self.predicted_master.copy(),
+        }

@@ -1,0 +1,72 @@
+"""Per-processor memory accounting.
+
+Mirrors the three storage areas recalled in Section 2 of the paper: the
+factors (monotonically growing), and the working storage made of the stack of
+contribution blocks plus the active frontal matrices and communication
+buffers.  The scheduling strategies act on the *working* area — the paper's
+"stack memory" — and every table reports its per-processor peak, so that is
+the quantity tracked with full history here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessorMemory"]
+
+
+@dataclass
+class ProcessorMemory:
+    """Memory state of one simulated processor (all values in entries)."""
+
+    proc: int
+    stack: float = 0.0
+    factors: float = 0.0
+    peak_stack: float = 0.0
+    peak_time: float = 0.0
+    track_trace: bool = False
+    trace_times: list[float] = field(default_factory=list)
+    trace_stack: list[float] = field(default_factory=list)
+    trace_factors: list[float] = field(default_factory=list)
+
+    def _after_change(self, now: float) -> None:
+        if self.stack < -1e-6:
+            raise RuntimeError(
+                f"processor {self.proc}: stack memory became negative ({self.stack:.1f} entries)"
+            )
+        if self.stack > self.peak_stack:
+            self.peak_stack = self.stack
+            self.peak_time = now
+        if self.track_trace:
+            self.trace_times.append(now)
+            self.trace_stack.append(self.stack)
+            self.trace_factors.append(self.factors)
+
+    def allocate_stack(self, entries: float, now: float) -> None:
+        """Grow the working area (front allocation, CB push, receive buffer)."""
+        if entries < 0:
+            raise ValueError("entries must be >= 0")
+        self.stack += entries
+        self._after_change(now)
+
+    def free_stack(self, entries: float, now: float) -> None:
+        """Shrink the working area (CB consumed, front released)."""
+        if entries < 0:
+            raise ValueError("entries must be >= 0")
+        self.stack -= entries
+        self._after_change(now)
+
+    def add_factors(self, entries: float, now: float) -> None:
+        """Move ``entries`` into the factor area (it only ever grows)."""
+        if entries < 0:
+            raise ValueError("entries must be >= 0")
+        self.factors += entries
+        if self.track_trace:
+            self.trace_times.append(now)
+            self.trace_stack.append(self.stack)
+            self.trace_factors.append(self.factors)
+
+    @property
+    def total(self) -> float:
+        """Current total memory (factors + working area)."""
+        return self.stack + self.factors

@@ -1,0 +1,76 @@
+"""Messages exchanged by the simulated processors and their cost model.
+
+The factorization itself exchanges contribution blocks and slave-task
+descriptors; the scheduling machinery additionally exchanges small
+bookkeeping broadcasts — memory variations, workload updates, subtree peaks
+and predicted master costs (Sections 3-5 of the paper).  All of them go
+through the same latency + bandwidth model so that the *staleness* of the
+remote views (the hazard of Figure 5) is represented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+__all__ = ["MessageKind", "Message", "CommunicationModel"]
+
+
+class MessageKind(Enum):
+    """Kinds of simulated messages."""
+
+    CB_TRANSFER = auto()        # a contribution-block piece travels to the parent's processor
+    CHILD_COMPLETED = auto()    # notification that a child node finished (parent may become ready)
+    SLAVE_TASK = auto()         # master -> slave: rows of a type-2 node to update
+    SLAVE_DONE = auto()         # slave -> master: the slave part is finished
+    MEMORY_UPDATE = auto()      # broadcast of a processor's current stack occupation
+    LOAD_UPDATE = auto()        # broadcast of a processor's remaining workload (flops)
+    SUBTREE_PEAK = auto()       # broadcast of the peak of the subtree being started (Section 5.1)
+    MASTER_PREDICTION = auto()  # broadcast of the cost of the next upper-layer master task (Section 5.1)
+    SLAVE_RESERVATION = auto()  # broadcast of a freshly made slave selection (coherence mechanism)
+    ROOT_READY = auto()         # the type-3 root node became ready
+
+
+@dataclass
+class Message:
+    """One message travelling between two simulated processors."""
+
+    kind: MessageKind
+    source: int
+    dest: int
+    node: int = -1
+    value: float = 0.0
+    rows: int = 0
+    entries: int = 0
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class CommunicationModel:
+    """Latency/bandwidth communication cost model.
+
+    ``transfer_time(entries)`` returns the one-way duration of a message
+    carrying ``entries`` floating-point values; pure notifications use
+    ``entries=0`` and cost one latency.
+    """
+
+    latency: float = 20.0e-6
+    bandwidth_entries: float = 5.0e7
+    small_message_latency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth_entries <= 0:
+            raise ValueError("invalid communication parameters")
+
+    def transfer_time(self, entries: int | float) -> float:
+        """One-way travel time of a message carrying ``entries`` values."""
+        if entries < 0:
+            raise ValueError("entries must be >= 0")
+        return self.latency + float(entries) / self.bandwidth_entries
+
+    def notification_time(self) -> float:
+        """Travel time of a small bookkeeping message."""
+        if self.small_message_latency is not None:
+            return self.small_message_latency
+        return self.latency

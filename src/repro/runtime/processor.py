@@ -1,0 +1,74 @@
+"""State of one simulated processor.
+
+Each processor owns a LIFO *pool* of ready tasks statically assigned to it
+(Section 5.2 and Figure 7 of the paper), a FIFO of received slave tasks
+(activated as soon as possible, Section 3), its memory accounting and its
+stale view of the rest of the system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.runtime.loadview import SystemView
+from repro.runtime.memory_state import ProcessorMemory
+from repro.runtime.tasks import Task
+
+__all__ = ["ProcessorState"]
+
+
+@dataclass
+class ProcessorState:
+    """Dynamic state of one processor during the simulated factorization."""
+
+    proc: int
+    nprocs: int
+    memory: ProcessorMemory = None
+    view: SystemView = None
+    pool: list[Task] = field(default_factory=list)          # LIFO stack of ready local tasks
+    slave_queue: deque = field(default_factory=deque)       # FIFO of received slave tasks
+    busy_until: float = 0.0
+    current_task: Task | None = None
+    load_remaining: float = 0.0       # flops of statically assigned + received work not yet done
+    current_subtree: int = -1         # leaf-subtree root currently being processed (-1 outside)
+    current_subtree_peak: float = 0.0
+    observed_peak: float = 0.0        # peak of the working area observed locally so far
+    last_broadcast_memory: float = 0.0
+    last_broadcast_load: float = 0.0
+    last_broadcast_prediction: float = 0.0
+    tasks_done: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory is None:
+            self.memory = ProcessorMemory(proc=self.proc)
+        if self.view is None:
+            self.view = SystemView(nprocs=self.nprocs, owner=self.proc)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def idle(self) -> bool:
+        return self.current_task is None
+
+    def has_work(self) -> bool:
+        return bool(self.pool) or bool(self.slave_queue)
+
+    def push_ready_task(self, task: Task) -> None:
+        """A node became ready: push its task on top of the pool (stack mechanism)."""
+        self.pool.append(task)
+
+    def pop_task(self, index: int) -> Task:
+        """Remove and return the pool entry at ``index`` (top is ``len(pool)-1``)."""
+        return self.pool.pop(index)
+
+    def queue_slave_task(self, task: Task) -> None:
+        self.slave_queue.append(task)
+
+    def local_memory_for_decisions(self) -> float:
+        """Own memory metric used by Algorithm 2: current stack plus the peak
+        of the subtree currently being treated."""
+        extra = self.current_subtree_peak if self.current_subtree >= 0 else 0.0
+        return float(self.memory.stack) + float(extra)
+
+    def note_observed_peak(self) -> None:
+        self.observed_peak = max(self.observed_peak, float(self.memory.stack))

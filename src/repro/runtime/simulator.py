@@ -1,0 +1,841 @@
+"""Discrete-event simulator of the parallel multifrontal factorization.
+
+This is the reproduction's stand-in for "running MUMPS on 32 processors of
+the IBM SP": the numerical kernels are replaced by their flop counts, the
+network by a latency/bandwidth model, and the memory of every processor is
+accounted in entries, exactly the quantity the paper's tables report.  The
+scheduling decision points — slave selection for type-2 nodes, task selection
+in the local pools — are delegated to strategy objects from
+:mod:`repro.scheduling`, so the original MUMPS behaviour and the paper's
+memory-based strategies run on an identical substrate and their stack peaks
+can be compared head to head.
+
+Faithfulness notes (documented simplifications):
+
+* contribution blocks produced by the children of a node are routed to the
+  processor that owns the node's master and freed there once the node's
+  elimination finishes; in MUMPS the pieces go to the individual slaves of a
+  type-2 parent, but the dominant memory terms (fronts, CB stacks, master
+  blocks) are unaffected;
+* a slave block's memory is charged to the slave as soon as the slave task
+  *arrives* (the paper: slave tasks are activated as soon as they are
+  received), even if the processor is still busy with another task;
+* the type-3 root is modelled as an even split of its front and flops over
+  all processors (ScaLAPACK 2-D block-cyclic distribution).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.flops import (
+    type2_slave_block_entries,
+    type2_slave_factor_entries,
+    type2_slave_flops,
+)
+from repro.analysis.memory import subtree_stack_peaks
+from repro.mapping.layers import NodeType, StaticMapping, compute_mapping
+from repro.runtime.config import SimulationConfig
+from repro.runtime.events import EventQueue
+from repro.runtime.messages import CommunicationModel, Message, MessageKind
+from repro.runtime.processor import ProcessorState
+from repro.runtime.tasks import Task, TaskKind
+from repro.runtime.trace import SimulationTrace
+from repro.scheduling.base import (
+    SlaveSelectionContext,
+    TaskSelectionContext,
+    SlaveSelector,
+    TaskSelector,
+    normalize_row_distribution,
+)
+from repro.symbolic.liu_order import order_children_for_memory
+
+__all__ = ["FactorizationSimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated parallel factorization."""
+
+    nprocs: int
+    per_proc_peak_stack: np.ndarray
+    per_proc_factor_entries: np.ndarray
+    per_proc_tasks: np.ndarray
+    total_time: float
+    message_counts: dict[str, int]
+    slave_selections: int
+    nodes: int
+    total_factor_entries: float
+    trace: Optional[SimulationTrace] = None
+    strategy_name: str = ""
+
+    @property
+    def max_peak_stack(self) -> float:
+        """Maximum over the processors of the stack-memory peak (the paper's metric)."""
+        return float(self.per_proc_peak_stack.max()) if self.per_proc_peak_stack.size else 0.0
+
+    @property
+    def avg_peak_stack(self) -> float:
+        return float(self.per_proc_peak_stack.mean()) if self.per_proc_peak_stack.size else 0.0
+
+    @property
+    def sum_peak_stack(self) -> float:
+        return float(self.per_proc_peak_stack.sum()) if self.per_proc_peak_stack.size else 0.0
+
+    @property
+    def peak_imbalance(self) -> float:
+        """Max over avg of the per-processor peaks (1.0 = perfectly balanced)."""
+        avg = self.avg_peak_stack
+        return self.max_peak_stack / avg if avg > 0 else 1.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "max_peak_stack": self.max_peak_stack,
+            "avg_peak_stack": self.avg_peak_stack,
+            "sum_peak_stack": self.sum_peak_stack,
+            "peak_imbalance": self.peak_imbalance,
+            "total_time": self.total_time,
+            "total_factor_entries": self.total_factor_entries,
+            "messages": float(sum(self.message_counts.values())),
+        }
+
+
+class _NodeState:
+    """Book-keeping of one assembly-tree node during the simulation."""
+
+    __slots__ = (
+        "children_remaining",
+        "completed",
+        "master_done",
+        "slaves_pending",
+        "cb_pieces",
+        "activated",
+        "root_shares_pending",
+    )
+
+    def __init__(self, nchildren: int) -> None:
+        self.children_remaining = nchildren
+        self.completed = False
+        self.master_done = False
+        self.slaves_pending = 0
+        self.cb_pieces: list[tuple[int, float]] = []
+        self.activated = False
+        self.root_shares_pending = 0
+
+
+class FactorizationSimulator:
+    """Simulate one parallel multifrontal factorization of an assembly tree."""
+
+    def __init__(
+        self,
+        tree,
+        *,
+        config: SimulationConfig | None = None,
+        mapping: StaticMapping | None = None,
+        slave_selector: SlaveSelector,
+        task_selector: TaskSelector,
+        strategy_name: str = "",
+    ) -> None:
+        self.tree = tree
+        self.config = config if config is not None else SimulationConfig()
+        if mapping is None:
+            mapping = compute_mapping(
+                tree,
+                self.config.nprocs,
+                type2_front_threshold=self.config.type2_front_threshold,
+                type2_cb_threshold=self.config.type2_cb_threshold,
+                type3_front_threshold=self.config.type3_front_threshold,
+                imbalance_tolerance=self.config.imbalance_tolerance,
+                min_subtrees_per_proc=self.config.min_subtrees_per_proc,
+                subtree_cost=self.config.subtree_cost,
+            )
+        if mapping.nprocs != self.config.nprocs:
+            raise ValueError("mapping.nprocs does not match config.nprocs")
+        self.mapping = mapping
+        self.slave_selector = slave_selector
+        self.task_selector = task_selector
+        self.strategy_name = strategy_name
+
+        self.comm = CommunicationModel(
+            latency=self.config.latency,
+            bandwidth_entries=self.config.bandwidth_entries,
+            small_message_latency=self.config.memory_message_latency,
+        )
+        self.queue = EventQueue()
+        self.procs = [
+            ProcessorState(proc=p, nprocs=self.config.nprocs) for p in range(self.config.nprocs)
+        ]
+        for p in self.procs:
+            p.memory.track_trace = self.config.track_traces
+        self.node_state = [
+            _NodeState(len(tree.children(i))) for i in range(tree.nnodes)
+        ]
+        self.subtree_peaks = subtree_stack_peaks(tree)
+        self.message_counts: dict[str, int] = defaultdict(int)
+        self.slave_selections = 0
+        # upper-layer tasks owned by a processor whose activation is imminent
+        # (>= 1 child completed) — drives the Section 5.1 master prediction
+        self.upcoming_master: list[dict[int, float]] = [dict() for _ in range(self.config.nprocs)]
+        self._finished_nodes = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # geometry helpers
+    # ------------------------------------------------------------------ #
+    def _node_flops(self, node: int) -> float:
+        if self.mapping.node_type[node] == int(NodeType.TYPE2):
+            return self.tree.type2_master_flops(node)
+        return self.tree.factor_flops(node)
+
+    def _activation_memory(self, node: int) -> float:
+        """Entries added to the owner's stack when the node's task is activated."""
+        kind = int(self.mapping.node_type[node])
+        if kind == int(NodeType.TYPE2):
+            return float(self.tree.master_entries(node))
+        if kind == int(NodeType.TYPE3):
+            return float(self.tree.front_entries(node)) / self.config.nprocs
+        return float(self.tree.front_entries(node))
+
+    def _make_static_task(self, node: int) -> Task:
+        kind = int(self.mapping.node_type[node])
+        in_subtree = int(self.mapping.subtree_of[node])
+        owner = int(self.mapping.owner[node])
+        if kind == int(NodeType.TYPE2):
+            task_kind = TaskKind.TYPE2_MASTER
+        else:
+            task_kind = TaskKind.TYPE1
+        return Task(
+            kind=task_kind,
+            node=node,
+            proc=owner,
+            flops=self._node_flops(node),
+            memory_cost=self._activation_memory(node),
+            in_subtree=in_subtree,
+        )
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def _initial_pool_order(self, proc: int) -> list[int]:
+        """Leaf nodes assigned to ``proc`` in the order they should be processed.
+
+        Leaves are grouped per subtree and, inside each subtree, listed in the
+        order a depth-first traversal with Liu's child ordering would reach
+        them — the pool initialisation described in Section 5.2.
+        """
+        liu = order_children_for_memory(self.tree)
+        my_subtrees = [
+            r for r in self.mapping.subtree_roots if int(self.mapping.owner[r]) == proc
+        ]
+        order: list[int] = []
+        for r in sorted(my_subtrees):
+            stack = [(r, 0)]
+            # DFS following Liu order; collect the leaves in visit order
+            visit: list[int] = []
+            while stack:
+                node, idx = stack.pop()
+                children = liu[node]
+                if not children:
+                    visit.append(node)
+                    continue
+                if idx < len(children):
+                    stack.append((node, idx + 1))
+                    stack.append((children[idx], 0))
+            order.extend(visit)
+        # upper-layer leaves owned by this processor (rare but possible)
+        for i in self.tree.leaves():
+            if (
+                int(self.mapping.subtree_of[i]) < 0
+                and int(self.mapping.owner[i]) == proc
+                and int(self.mapping.node_type[i]) != int(NodeType.TYPE3)
+            ):
+                order.append(i)
+        return order
+
+    def _setup(self) -> None:
+        tree = self.tree
+        cfg = self.config
+        # initial workloads: cost of the statically assigned subtrees
+        initial_load = np.zeros(cfg.nprocs, dtype=np.float64)
+        for r in self.mapping.subtree_roots:
+            initial_load[int(self.mapping.owner[r])] += tree.subtree_flops(r)
+        for p in self.procs:
+            p.load_remaining = float(initial_load[p.proc])
+            # everyone starts with the same (exact) static knowledge of the loads
+            for q in range(cfg.nprocs):
+                p.view.set_load(q, float(initial_load[q]))
+
+        # initial pools: the leaves, deepest-first subtree by subtree
+        for p in self.procs:
+            processing_order = self._initial_pool_order(p.proc)
+            for node in reversed(processing_order):
+                p.push_ready_task(self._make_static_task(node))
+
+        # a single-node tree (or type-3 leaves) must still start somewhere
+        for i in tree.leaves():
+            if int(self.mapping.node_type[i]) == int(NodeType.TYPE3):
+                self._root_ready(i, 0.0)
+
+        for p in range(cfg.nprocs):
+            self.queue.push(0.0, ("kick", p))
+
+    # ------------------------------------------------------------------ #
+    # broadcasts and views
+    # ------------------------------------------------------------------ #
+    def _broadcast(self, kind: str, source: int, value: float, delay: float | None = None) -> None:
+        if self.config.nprocs <= 1:
+            return
+        if delay is None:
+            delay = self.comm.notification_time()
+        self.queue.push_after(delay, ("broadcast", kind, source, value))
+        self.message_counts[kind] += self.config.nprocs - 1
+
+    def _memory_changed(self, proc: int) -> None:
+        p = self.procs[proc]
+        p.note_observed_peak()
+        value = float(p.memory.stack)
+        if value != p.last_broadcast_memory:
+            p.last_broadcast_memory = value
+            self._broadcast("memory", proc, value)
+        # a processor always knows its own memory exactly
+        p.view.set_memory(proc, value)
+
+    def _load_changed(self, proc: int) -> None:
+        p = self.procs[proc]
+        value = float(p.load_remaining)
+        if value != p.last_broadcast_load:
+            p.last_broadcast_load = value
+            self._broadcast("load", proc, value)
+        p.view.set_load(proc, value)
+
+    def _prediction_changed(self, proc: int) -> None:
+        p = self.procs[proc]
+        value = max(self.upcoming_master[proc].values(), default=0.0)
+        if value != p.last_broadcast_prediction:
+            p.last_broadcast_prediction = value
+            self._broadcast("prediction", proc, value)
+        p.view.set_predicted_master(proc, value)
+
+    def _subtree_changed(self, proc: int, value: float) -> None:
+        p = self.procs[proc]
+        p.current_subtree_peak = value
+        p.view.set_subtree_peak(proc, value)
+        self._broadcast("subtree", proc, value)
+
+    # ------------------------------------------------------------------ #
+    # task activation / completion
+    # ------------------------------------------------------------------ #
+    def _try_start(self, proc: int) -> None:
+        p = self.procs[proc]
+        if p.current_task is not None:
+            return
+        now = self.queue.now
+        task: Task | None = None
+        if p.slave_queue:
+            task = p.slave_queue.popleft()
+        elif p.pool:
+            ctx = TaskSelectionContext(
+                proc=proc,
+                pool=list(p.pool),
+                current_memory=float(p.memory.stack),
+                current_subtree=p.current_subtree,
+                current_subtree_peak=p.current_subtree_peak,
+                observed_peak=p.observed_peak,
+            )
+            index = int(self.task_selector.select(ctx))
+            if not 0 <= index < len(p.pool):
+                raise ValueError(
+                    f"task selector {self.task_selector!r} returned invalid index {index}"
+                )
+            task = p.pop_task(index)
+        if task is None:
+            return
+        self._activate(task, now)
+
+    def _activate(self, task: Task, now: float) -> None:
+        p = self.procs[task.proc]
+        p.current_task = task
+        if task.kind == TaskKind.TYPE1:
+            duration = self._activate_type1(task, now)
+        elif task.kind == TaskKind.TYPE2_MASTER:
+            duration = self._activate_type2_master(task, now)
+        elif task.kind == TaskKind.TYPE2_SLAVE:
+            duration = task.flops / self.config.flop_rate
+        elif task.kind == TaskKind.ROOT_SHARE:
+            p.memory.allocate_stack(task.memory_cost, now)
+            self._memory_changed(task.proc)
+            duration = task.flops / self.config.flop_rate
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown task kind {task.kind}")
+        self.queue.push(now + duration, ("task_done", task.proc, task))
+
+    def _pull_children_cbs(self, node: int, dest: int, now: float) -> tuple[float, float]:
+        """Route the children CB pieces to ``dest``.
+
+        Returns ``(total_entries, comm_time)``: the entries that end up on the
+        destination's stack (remote pieces are added to it, local pieces are
+        already there) and the longest individual transfer time.
+        """
+        total = 0.0
+        comm_time = 0.0
+        moved = 0.0
+        for c in self.tree.children(node):
+            for (q, entries) in self.node_state[c].cb_pieces:
+                total += entries
+                if q != dest:
+                    self.procs[q].memory.free_stack(entries, now)
+                    self._memory_changed(q)
+                    self.procs[dest].memory.allocate_stack(entries, now)
+                    moved += entries
+                    comm_time = max(comm_time, self.comm.transfer_time(entries))
+                    self.message_counts["cb_transfer"] += 1
+        if moved > 0:
+            self._memory_changed(dest)
+        return total, comm_time
+
+    def _enter_subtree_if_needed(self, task: Task, now: float) -> None:
+        p = self.procs[task.proc]
+        if task.in_subtree >= 0 and p.current_subtree != task.in_subtree:
+            p.current_subtree = task.in_subtree
+            self._subtree_changed(task.proc, float(self.subtree_peaks[task.in_subtree]))
+
+    def _leave_subtree_if_needed(self, task: Task, now: float) -> None:
+        p = self.procs[task.proc]
+        if task.in_subtree >= 0 and task.node == task.in_subtree:
+            p.current_subtree = -1
+            self._subtree_changed(task.proc, 0.0)
+
+    def _note_upper_activation(self, task: Task, now: float) -> None:
+        """The Section 5.1 prediction: an upper-layer task got activated."""
+        if task.in_subtree >= 0:
+            return
+        upcoming = self.upcoming_master[task.proc]
+        if task.node in upcoming:
+            del upcoming[task.node]
+            self._prediction_changed(task.proc)
+
+    def _activate_type1(self, task: Task, now: float) -> float:
+        node = task.node
+        p = self.procs[task.proc]
+        self._enter_subtree_if_needed(task, now)
+        self._note_upper_activation(task, now)
+        self.node_state[node].activated = True
+        _, comm_time = self._pull_children_cbs(node, task.proc, now)
+        p.memory.allocate_stack(float(self.tree.front_entries(node)), now)
+        self._memory_changed(task.proc)
+        duration = (
+            comm_time
+            + self.tree.assembly_flops(node) / self.config.assembly_rate
+            + self.tree.factor_flops(node) / self.config.flop_rate
+        )
+        return duration
+
+    def _release_children_cbs(self, node: int, now: float, observer: int | None = None) -> tuple[float, float]:
+        """Free the children CB pieces where they live (type-2/3 parents).
+
+        The pieces of a type-2 parent are re-assembled into the *distributed*
+        front (master + slaves), so they leave their current owners at
+        activation time; the assembly shares are charged to the master and
+        the slaves separately by the caller.  Returns the total entries and
+        the largest single transfer time.
+
+        ``observer`` (the master doing the assembly) updates its own view of
+        the releasing processors immediately — it is the one causing the
+        release, so waiting for their memory broadcasts would make the slave
+        selection it is about to perform systematically biased against the
+        processors that merely stored its children's contribution blocks.
+        """
+        total = 0.0
+        comm_time = 0.0
+        for c in self.tree.children(node):
+            st = self.node_state[c]
+            for (q, entries) in st.cb_pieces:
+                total += entries
+                self.procs[q].memory.free_stack(entries, now)
+                self._memory_changed(q)
+                if observer is not None and q != observer:
+                    self.procs[observer].view.add_memory(q, -entries)
+                comm_time = max(comm_time, self.comm.transfer_time(entries))
+                self.message_counts["cb_transfer"] += 1
+            st.cb_pieces = []
+        return total, comm_time
+
+    def _activate_type2_master(self, task: Task, now: float) -> float:
+        node = task.node
+        p = self.procs[task.proc]
+        tree = self.tree
+        cfg = self.config
+        self._enter_subtree_if_needed(task, now)
+        self._note_upper_activation(task, now)
+        self.node_state[node].activated = True
+        total_cb, comm_time = self._release_children_cbs(node, now, observer=task.proc)
+        # the master's assembly share: the rows of the children CBs that land
+        # in the fully summed part of the front
+        nfront_f = float(max(int(tree.nfront[node]), 1))
+        master_assembly = total_cb * float(tree.npiv[node]) / nfront_f
+        task.extra_transient = master_assembly
+        p.memory.allocate_stack(float(tree.master_entries(node)) + master_assembly, now)
+        self._memory_changed(task.proc)
+
+        # ------------------- dynamic slave selection ---------------------- #
+        npiv = int(tree.npiv[node])
+        nfront = int(tree.nfront[node])
+        ncb = nfront - npiv
+        candidates = [q for q in self.mapping.candidates.get(node, []) if q != task.proc]
+        if not candidates:
+            candidates = [q for q in range(cfg.nprocs) if q != task.proc]
+        mem_view = np.array([p.view.instantaneous_memory(q) for q in range(cfg.nprocs)])
+        eff_view = np.array(
+            [p.view.effective_memory(q, with_predictions=True) for q in range(cfg.nprocs)]
+        )
+        load_view = p.view.load.copy()
+        ctx = SlaveSelectionContext(
+            master_proc=task.proc,
+            node=node,
+            npiv=npiv,
+            nfront=nfront,
+            ncb=ncb,
+            symmetric=tree.symmetric,
+            candidates=candidates,
+            memory_view=mem_view,
+            effective_memory_view=eff_view,
+            load_view=load_view,
+            own_load=float(p.load_remaining),
+            own_memory=float(p.memory.stack),
+            min_rows_per_slave=cfg.min_rows_per_slave,
+            max_slaves=cfg.effective_max_slaves(),
+        )
+        assignment = normalize_row_distribution(self.slave_selector.select(ctx), ncb, candidates)
+        self.slave_selections += 1
+
+        state = self.node_state[node]
+        state.slaves_pending = len(assignment)
+        for (q, rows) in assignment:
+            block = float(type2_slave_block_entries(npiv, nfront, rows, tree.symmetric))
+            flops = type2_slave_flops(npiv, nfront, rows, tree.symmetric)
+            # the slave also receives its share of the children CB rows to assemble
+            slave_assembly = total_cb * float(rows) / nfront_f
+            slave_task = Task(
+                kind=TaskKind.TYPE2_SLAVE,
+                node=node,
+                proc=q,
+                flops=flops,
+                memory_cost=block,
+                rows=rows,
+                in_subtree=-1,
+                master=task.proc,
+                extra_transient=slave_assembly,
+            )
+            delay = self.comm.transfer_time(npiv * 2)  # task descriptor, small
+            self.queue.push_after(delay, ("message", Message(
+                kind=MessageKind.SLAVE_TASK, source=task.proc, dest=q, node=node,
+                rows=rows, entries=int(block), payload={"task": slave_task},
+            )))
+            self.message_counts["slave_task"] += 1
+            # the master immediately accounts for its own decision (coherence
+            # mechanism of Section 4) and tells the others about it
+            p.view.add_memory(q, block)
+        if assignment and cfg.nprocs > 1:
+            self.queue.push_after(
+                self.comm.notification_time(),
+                ("reservation", task.proc, [(q, float(type2_slave_block_entries(npiv, nfront, rows, tree.symmetric))) for q, rows in assignment]),
+            )
+            self.message_counts["reservation"] += cfg.nprocs - 1
+
+        duration = (
+            comm_time
+            + tree.assembly_flops(node) / cfg.assembly_rate
+            + tree.type2_master_flops(node) / cfg.flop_rate
+        )
+        return duration
+
+    # ------------------------------------------------------------------ #
+    # completions
+    # ------------------------------------------------------------------ #
+    def _finish_task(self, proc: int, task: Task, now: float) -> None:
+        p = self.procs[proc]
+        p.current_task = None
+        p.tasks_done += 1
+        if task.kind == TaskKind.TYPE1:
+            self._finish_type1(task, now)
+        elif task.kind == TaskKind.TYPE2_MASTER:
+            self._finish_type2_master(task, now)
+        elif task.kind == TaskKind.TYPE2_SLAVE:
+            self._finish_type2_slave(task, now)
+        elif task.kind == TaskKind.ROOT_SHARE:
+            self._finish_root_share(task, now)
+        self._try_start(proc)
+
+    def _consume_children_cbs(self, node: int, dest: int, now: float) -> None:
+        """Free the children CB pieces (they all sit on ``dest`` by now)."""
+        total = 0.0
+        for c in self.tree.children(node):
+            st = self.node_state[c]
+            total += sum(entries for (_q, entries) in st.cb_pieces)
+            st.cb_pieces = []
+        if total > 0:
+            self.procs[dest].memory.free_stack(total, now)
+            self._memory_changed(dest)
+
+    def _finish_type1(self, task: Task, now: float) -> None:
+        node = task.node
+        p = self.procs[task.proc]
+        tree = self.tree
+        self._consume_children_cbs(node, task.proc, now)
+        p.memory.free_stack(float(tree.front_entries(node)), now)
+        p.memory.add_factors(float(tree.factor_entries(node)), now)
+        cb = float(tree.cb_entries(node))
+        if cb > 0:
+            p.memory.allocate_stack(cb, now)
+            self.node_state[node].cb_pieces = [(task.proc, cb)]
+        self._memory_changed(task.proc)
+        p.load_remaining = max(p.load_remaining - task.flops, 0.0)
+        self._load_changed(task.proc)
+        self._leave_subtree_if_needed(task, now)
+        self._complete_node(node, now)
+
+    def _finish_type2_master(self, task: Task, now: float) -> None:
+        node = task.node
+        p = self.procs[task.proc]
+        tree = self.tree
+        master = float(tree.master_entries(node))
+        p.memory.free_stack(master + task.extra_transient, now)
+        p.memory.add_factors(master, now)
+        self._memory_changed(task.proc)
+        p.load_remaining = max(p.load_remaining - task.flops, 0.0)
+        self._load_changed(task.proc)
+        state = self.node_state[node]
+        state.master_done = True
+        if state.slaves_pending == 0:
+            self._complete_node(node, now)
+
+    def _finish_type2_slave(self, task: Task, now: float) -> None:
+        node = task.node
+        q = task.proc
+        p = self.procs[q]
+        tree = self.tree
+        npiv = int(tree.npiv[node])
+        nfront = int(tree.nfront[node])
+        factor_part = float(type2_slave_factor_entries(npiv, nfront, task.rows, tree.symmetric))
+        cb_part = max(task.memory_cost - factor_part, 0.0)
+        p.memory.free_stack(factor_part + task.extra_transient, now)
+        p.memory.add_factors(factor_part, now)
+        self._memory_changed(q)
+        p.load_remaining = max(p.load_remaining - task.flops, 0.0)
+        self._load_changed(q)
+        state = self.node_state[node]
+        if cb_part > 0:
+            state.cb_pieces.append((q, cb_part))
+        state.slaves_pending -= 1
+        self.message_counts["slave_done"] += 1
+        if state.slaves_pending == 0 and state.master_done:
+            self._complete_node(node, now)
+
+    def _finish_root_share(self, task: Task, now: float) -> None:
+        node = task.node
+        p = self.procs[task.proc]
+        tree = self.tree
+        share_front = task.memory_cost
+        share_factors = float(tree.factor_entries(node)) / self.config.nprocs
+        p.memory.free_stack(share_front, now)
+        p.memory.add_factors(share_factors, now)
+        self._memory_changed(task.proc)
+        p.load_remaining = max(p.load_remaining - task.flops, 0.0)
+        self._load_changed(task.proc)
+        state = self.node_state[node]
+        state.root_shares_pending -= 1
+        if state.root_shares_pending == 0:
+            # root CB (normally empty) stays on processor 0 by convention
+            cb = float(tree.cb_entries(node))
+            if cb > 0:
+                self.procs[0].memory.allocate_stack(cb, now)
+                self._memory_changed(0)
+                state.cb_pieces = [(0, cb)]
+            self._complete_node(node, now)
+
+    # ------------------------------------------------------------------ #
+    # readiness propagation
+    # ------------------------------------------------------------------ #
+    def _complete_node(self, node: int, now: float) -> None:
+        state = self.node_state[node]
+        if state.completed:
+            raise RuntimeError(f"node {node} completed twice")
+        state.completed = True
+        self._finished_nodes += 1
+        parent = int(self.tree.parent[node])
+        if parent < 0:
+            return
+        child_owner = int(self.mapping.owner[node]) if int(self.mapping.owner[node]) >= 0 else 0
+        parent_owner = int(self.mapping.owner[parent])
+        if parent_owner < 0:
+            parent_owner = 0  # type-3 root: bookkeeping held by processor 0
+        if child_owner == parent_owner:
+            self._on_child_completed(parent, now)
+        else:
+            self.queue.push_after(
+                self.comm.notification_time(),
+                ("message", Message(
+                    kind=MessageKind.CHILD_COMPLETED, source=child_owner, dest=parent_owner, node=parent,
+                )),
+            )
+            self.message_counts["child_completed"] += 1
+
+    def _on_child_completed(self, parent: int, now: float) -> None:
+        state = self.node_state[parent]
+        # Section 5.1: the owner of the parent now expects this master task
+        if int(self.mapping.subtree_of[parent]) < 0 and int(self.mapping.node_type[parent]) != int(NodeType.TYPE3):
+            owner = int(self.mapping.owner[parent])
+            upcoming = self.upcoming_master[owner]
+            if parent not in upcoming and not state.activated:
+                upcoming[parent] = self._activation_memory(parent)
+                self._prediction_changed(owner)
+        state.children_remaining -= 1
+        if state.children_remaining == 0:
+            self._node_ready(parent, now)
+
+    def _node_ready(self, node: int, now: float) -> None:
+        kind = int(self.mapping.node_type[node])
+        if kind == int(NodeType.TYPE3):
+            self._root_ready(node, now)
+            return
+        owner = int(self.mapping.owner[node])
+        task = self._make_static_task(node)
+        p = self.procs[owner]
+        p.push_ready_task(task)
+        # the workload-based scheduling counts a task as load when it enters the pool
+        if task.in_subtree < 0:
+            p.load_remaining += task.flops
+            self._load_changed(owner)
+        self._try_start(owner)
+
+    def _root_ready(self, node: int, now: float) -> None:
+        tree = self.tree
+        cfg = self.config
+        state = self.node_state[node]
+        # the 2-D distribution scatters the children CBs: free them where they live
+        for c in tree.children(node):
+            st = self.node_state[c]
+            for (q, entries) in st.cb_pieces:
+                self.procs[q].memory.free_stack(entries, now)
+                self._memory_changed(q)
+            st.cb_pieces = []
+        state.root_shares_pending = cfg.nprocs
+        share_flops = tree.factor_flops(node) / cfg.nprocs
+        share_front = float(tree.front_entries(node)) / cfg.nprocs
+        for q in range(cfg.nprocs):
+            task = Task(
+                kind=TaskKind.ROOT_SHARE,
+                node=node,
+                proc=q,
+                flops=share_flops,
+                memory_cost=share_front,
+                in_subtree=-1,
+            )
+            self.procs[q].push_ready_task(task)
+            self.procs[q].load_remaining += share_flops
+            self._load_changed(q)
+            self._try_start(q)
+        self.message_counts["root_ready"] += cfg.nprocs - 1
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_message(self, msg: Message, now: float) -> None:
+        if msg.kind == MessageKind.SLAVE_TASK:
+            q = msg.dest
+            p = self.procs[q]
+            task: Task = msg.payload["task"]
+            # the slave block (plus its assembly share of the children CBs) is
+            # charged upon reception (Section 3: slave tasks are activated as
+            # soon as they are received)
+            p.memory.allocate_stack(task.memory_cost + task.extra_transient, now)
+            self._memory_changed(q)
+            p.load_remaining += task.flops
+            self._load_changed(q)
+            p.queue_slave_task(task)
+            self._try_start(q)
+        elif msg.kind == MessageKind.CHILD_COMPLETED:
+            self._on_child_completed(msg.node, now)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unexpected message kind {msg.kind}")
+
+    def _handle_broadcast(self, kind: str, source: int, value: float) -> None:
+        for p in self.procs:
+            if p.proc == source:
+                continue
+            if kind == "memory":
+                p.view.set_memory(source, value)
+            elif kind == "load":
+                p.view.set_load(source, value)
+            elif kind == "subtree":
+                p.view.set_subtree_peak(source, value)
+            elif kind == "prediction":
+                p.view.set_predicted_master(source, value)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown broadcast kind {kind}")
+
+    def _handle_reservation(self, source: int, reservations: list[tuple[int, float]]) -> None:
+        for p in self.procs:
+            if p.proc == source:
+                continue
+            for (q, block) in reservations:
+                if q != p.proc:
+                    p.view.add_memory(q, block)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return the metrics."""
+        if self._ran:
+            raise RuntimeError("a FactorizationSimulator instance can only run once")
+        self._ran = True
+        self._setup()
+        while self.queue:
+            event = self.queue.pop()
+            payload = event.payload
+            tag = payload[0]
+            if tag == "task_done":
+                _, proc, task = payload
+                self._finish_task(proc, task, event.time)
+            elif tag == "message":
+                self._handle_message(payload[1], event.time)
+            elif tag == "broadcast":
+                _, kind, source, value = payload
+                self._handle_broadcast(kind, source, value)
+            elif tag == "reservation":
+                _, source, reservations = payload
+                self._handle_reservation(source, reservations)
+            elif tag == "kick":
+                self._try_start(payload[1])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown event {tag}")
+
+        if self._finished_nodes != self.tree.nnodes:
+            unfinished = [i for i, s in enumerate(self.node_state) if not s.completed]
+            raise RuntimeError(
+                f"simulation deadlocked: {len(unfinished)} nodes never completed "
+                f"(first few: {unfinished[:5]})"
+            )
+
+        per_peak = np.array([p.memory.peak_stack for p in self.procs], dtype=np.float64)
+        per_factors = np.array([p.memory.factors for p in self.procs], dtype=np.float64)
+        per_tasks = np.array([p.tasks_done for p in self.procs], dtype=np.float64)
+        trace = SimulationTrace.from_processors(self.procs) if self.config.track_traces else None
+        return SimulationResult(
+            nprocs=self.config.nprocs,
+            per_proc_peak_stack=per_peak,
+            per_proc_factor_entries=per_factors,
+            per_proc_tasks=per_tasks,
+            total_time=float(self.queue.now),
+            message_counts=dict(self.message_counts),
+            slave_selections=self.slave_selections,
+            nodes=self.tree.nnodes,
+            total_factor_entries=float(per_factors.sum()),
+            trace=trace,
+            strategy_name=self.strategy_name,
+        )

@@ -1,0 +1,73 @@
+"""Task descriptors of the simulated factorization.
+
+A *task* is what sits in a processor's pool of ready work: the complete
+treatment of a type-1 node, the master part of a type-2 node, one slave part
+of a type-2 node (never in the pool — activated on receipt, Section 3), or a
+processor's share of the type-3 root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+__all__ = ["TaskKind", "Task"]
+
+
+class TaskKind(Enum):
+    TYPE1 = auto()         # full treatment of a type-1 node (inside or above the subtrees)
+    TYPE2_MASTER = auto()  # master part of a type-2 node
+    TYPE2_SLAVE = auto()   # one slave block of a type-2 node
+    ROOT_SHARE = auto()    # this processor's share of the type-3 root
+
+
+@dataclass
+class Task:
+    """One unit of work for one processor.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`TaskKind`.
+    node:
+        Assembly-tree node index.
+    proc:
+        Processor the task runs on.
+    flops:
+        Elimination flops of this task (the workload metric of MUMPS).
+    memory_cost:
+        Entries this task will *add* to the processor's working area when it
+        is activated (front for type 1, master part for a type-2 master,
+        the row block for a slave, the root share for the root).  This is the
+        "memory cost" used by Algorithm 2.
+    rows:
+        For slave tasks, the number of contribution rows owned.
+    in_subtree:
+        Index of the leaf-subtree root this task belongs to, or ``-1``.
+    extra_transient:
+        Additional working entries held only while the task runs (the share
+        of the children contribution blocks assembled into this task's rows);
+        allocated together with ``memory_cost`` and entirely freed when the
+        task completes.
+    """
+
+    kind: TaskKind
+    node: int
+    proc: int
+    flops: float
+    memory_cost: float
+    rows: int = 0
+    in_subtree: int = -1
+    master: int = -1  # master processor (slave tasks only)
+    extra_transient: float = 0.0
+
+    @property
+    def is_subtree_task(self) -> bool:
+        return self.in_subtree >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sub = f" subtree={self.in_subtree}" if self.in_subtree >= 0 else ""
+        return (
+            f"Task({self.kind.name}, node={self.node}, proc={self.proc}, "
+            f"flops={self.flops:.3g}, mem={self.memory_cost:.3g}{sub})"
+        )

@@ -1,0 +1,60 @@
+"""Simulation traces: per-processor memory evolution over simulated time.
+
+Used by the figure benchmarks (memory evolution plots of the kind that
+motivate Figures 4, 6 and 8) and by the examples.  The trace is built from
+the per-processor :class:`~repro.runtime.memory_state.ProcessorMemory`
+histories after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulationTrace"]
+
+
+@dataclass
+class SimulationTrace:
+    """Memory history of every processor of one simulated factorization."""
+
+    times: list[np.ndarray]
+    stack: list[np.ndarray]
+    factors: list[np.ndarray]
+
+    @classmethod
+    def from_processors(cls, processors) -> "SimulationTrace":
+        return cls(
+            times=[np.asarray(p.memory.trace_times, dtype=np.float64) for p in processors],
+            stack=[np.asarray(p.memory.trace_stack, dtype=np.float64) for p in processors],
+            factors=[np.asarray(p.memory.trace_factors, dtype=np.float64) for p in processors],
+        )
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.times)
+
+    def peak_stack(self, proc: int) -> float:
+        arr = self.stack[proc]
+        return float(arr.max()) if arr.size else 0.0
+
+    def sampled(self, proc: int, nsamples: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Resample processor ``proc``'s stack history on a regular time grid."""
+        t = self.times[proc]
+        s = self.stack[proc]
+        if t.size == 0:
+            return np.zeros(nsamples), np.zeros(nsamples)
+        grid = np.linspace(0.0, float(t[-1]), nsamples)
+        idx = np.searchsorted(t, grid, side="right") - 1
+        idx = np.clip(idx, 0, t.size - 1)
+        return grid, s[idx]
+
+    def ascii_sparkline(self, proc: int, width: int = 60) -> str:
+        """Compact ascii rendering of one processor's stack history."""
+        _, s = self.sampled(proc, width)
+        if s.max() <= 0:
+            return "·" * width
+        levels = " ▁▂▃▄▅▆▇█"
+        scaled = np.round(s / s.max() * (len(levels) - 1)).astype(int)
+        return "".join(levels[int(v)] for v in scaled)

@@ -1,0 +1,45 @@
+"""The paper's contribution: dynamic memory-based scheduling strategies.
+
+Three pluggable decision points drive the simulated factorization:
+
+* **slave selection** for type-2 nodes — either MUMPS' original
+  workload-based choice (:class:`WorkloadSlaveSelector`, Section 3) or the
+  paper's Algorithm 1 (:class:`MemorySlaveSelector`, Section 4), optionally
+  augmented with the Section 5.1 prediction terms;
+* **task selection** in the local pool — either the original LIFO stack
+  (:class:`LifoTaskSelector`) or the paper's Algorithm 2
+  (:class:`MemoryAwareTaskSelector`, Section 5.2);
+* the **strategy presets** of :mod:`repro.scheduling.presets` bundle the two
+  choices under the names used throughout the experiments
+  (``"mumps-workload"``, ``"memory-basic"``, ``"memory-full"``, …).
+"""
+
+from repro.scheduling.base import (
+    SlaveSelector,
+    TaskSelector,
+    SlaveSelectionContext,
+    TaskSelectionContext,
+    normalize_row_distribution,
+)
+from repro.scheduling.workload import WorkloadSlaveSelector
+from repro.scheduling.memory_slave import MemorySlaveSelector
+from repro.scheduling.task_selection import LifoTaskSelector, MemoryAwareTaskSelector, FifoTaskSelector
+from repro.scheduling.hybrid import HybridSlaveSelector
+from repro.scheduling.presets import STRATEGIES, SchedulingStrategy, get_strategy
+
+__all__ = [
+    "SlaveSelector",
+    "TaskSelector",
+    "SlaveSelectionContext",
+    "TaskSelectionContext",
+    "normalize_row_distribution",
+    "WorkloadSlaveSelector",
+    "MemorySlaveSelector",
+    "LifoTaskSelector",
+    "FifoTaskSelector",
+    "MemoryAwareTaskSelector",
+    "HybridSlaveSelector",
+    "STRATEGIES",
+    "SchedulingStrategy",
+    "get_strategy",
+]

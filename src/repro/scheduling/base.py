@@ -1,0 +1,164 @@
+"""Interfaces of the dynamic scheduling decision points.
+
+The simulator hands each decision a small *context* object carrying exactly
+the information the corresponding MUMPS mechanism would have at that moment:
+the (possibly stale) remote views, the local state of the deciding processor
+and the geometry of the node concerned.  Strategies must not reach into the
+simulator; everything they may legitimately use is in the context.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SlaveSelectionContext",
+    "TaskSelectionContext",
+    "SlaveSelector",
+    "TaskSelector",
+    "normalize_row_distribution",
+]
+
+
+@dataclass
+class SlaveSelectionContext:
+    """Everything a master knows when it has to pick slaves for a type-2 node.
+
+    Attributes
+    ----------
+    master_proc:
+        The deciding processor (master of the node).
+    node:
+        Assembly-tree node index.
+    npiv, nfront, ncb:
+        Geometry of the front; ``ncb`` rows must be distributed to slaves.
+    symmetric:
+        Storage convention of the front.
+    candidates:
+        Processors allowed to act as slaves (the master itself is excluded).
+    memory_view:
+        ``memory_view[q]`` — believed stack occupation of processor ``q``
+        (instantaneous metric of Section 4).
+    effective_memory_view:
+        Section 5.1 metric: instantaneous memory + current-subtree peak +
+        predicted next master task, per processor.
+    load_view:
+        Believed remaining workload (flops) per processor.
+    own_load:
+        Remaining workload of the master.
+    own_memory:
+        Current stack occupation of the master.
+    min_rows_per_slave, max_slaves:
+        Granularity constraints from the simulation configuration.
+    """
+
+    master_proc: int
+    node: int
+    npiv: int
+    nfront: int
+    ncb: int
+    symmetric: bool
+    candidates: Sequence[int]
+    memory_view: np.ndarray
+    effective_memory_view: np.ndarray
+    load_view: np.ndarray
+    own_load: float
+    own_memory: float
+    min_rows_per_slave: int = 1
+    max_slaves: int = 1
+
+
+@dataclass
+class TaskSelectionContext:
+    """What a processor knows when it picks the next task from its pool.
+
+    Attributes
+    ----------
+    proc:
+        The deciding processor.
+    pool:
+        The ready tasks, bottom to top (index ``len(pool) - 1`` is the top of
+        the stack, i.e. what the original MUMPS strategy would pick).
+    current_memory:
+        Current stack occupation of the processor.
+    current_subtree:
+        Leaf-subtree root currently being processed, or ``-1``.
+    current_subtree_peak:
+        Peak (entries) of that subtree — the "including peak of subtree" term
+        of Algorithm 2.
+    observed_peak:
+        Peak of the working area observed locally since the beginning of the
+        factorization (the reference level of Algorithm 2).
+    """
+
+    proc: int
+    pool: Sequence
+    current_memory: float
+    current_subtree: int
+    current_subtree_peak: float
+    observed_peak: float
+
+
+class SlaveSelector(abc.ABC):
+    """Strategy choosing the slaves (and their row counts) of a type-2 node."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        """Return ``[(processor, rows), ...]`` covering all ``ctx.ncb`` rows."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TaskSelector(abc.ABC):
+    """Strategy choosing which ready task of the local pool to activate next."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: TaskSelectionContext) -> int:
+        """Return the index (into ``ctx.pool``) of the task to activate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def normalize_row_distribution(
+    assignment: list[tuple[int, int]],
+    ncb: int,
+    candidates: Sequence[int],
+) -> list[tuple[int, int]]:
+    """Sanitise a slave-row assignment.
+
+    Drops non-candidate processors and non-positive row counts, clips the
+    total to ``ncb`` and hands any remaining rows to the first listed slave
+    (or to the first candidate when the strategy returned nothing usable).
+    The simulator always passes strategy output through this function so a
+    buggy or degenerate strategy cannot lose rows of the front.
+    """
+    if ncb <= 0:
+        return []
+    candidate_set = set(int(c) for c in candidates)
+    cleaned: list[tuple[int, int]] = []
+    remaining = ncb
+    for proc, rows in assignment:
+        proc = int(proc)
+        rows = int(rows)
+        if proc not in candidate_set or rows <= 0 or remaining <= 0:
+            continue
+        rows = min(rows, remaining)
+        cleaned.append((proc, rows))
+        remaining -= rows
+    if remaining > 0:
+        if cleaned:
+            proc, rows = cleaned[0]
+            cleaned[0] = (proc, rows + remaining)
+        elif candidate_set:
+            cleaned.append((sorted(candidate_set)[0], remaining))
+    return cleaned

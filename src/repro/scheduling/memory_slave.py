@@ -1,0 +1,97 @@
+"""Algorithm 1: memory-based slave selection (Section 4, improved in 5.1).
+
+The master sorts the candidate slaves by (believed) memory occupation and
+chooses the smallest prefix that can absorb the rows of the front while
+*levelling* the memory: each selected slave first receives enough rows to
+bring it up to the level of the most loaded selected slave, and the remaining
+rows are spread equally.  The metric is either the instantaneous memory
+(Section 4) or the improved metric of Section 5.1 — instantaneous memory plus
+the peak of the subtree currently being treated plus the predicted cost of
+the next upper-layer master task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.base import SlaveSelectionContext, SlaveSelector
+from repro.scheduling.prediction import selection_metric
+
+__all__ = ["MemorySlaveSelector"]
+
+
+class MemorySlaveSelector(SlaveSelector):
+    """The paper's Algorithm 1.
+
+    Parameters
+    ----------
+    use_predictions:
+        ``False`` reproduces the plain Section 4 strategy (instantaneous
+        memory only); ``True`` uses the Section 5.1 metric, which avoids
+        giving slave work to processors about to start an expensive subtree
+        or master task.
+    row_unit:
+        Memory-to-rows conversion follows the paper: a deficit of ``D``
+        entries translates into ``D / nfront`` rows (one row of the front
+        occupies ``nfront`` entries in the unsymmetric storage).
+    """
+
+    name = "memory"
+
+    def __init__(self, *, use_predictions: bool = True):
+        self.use_predictions = use_predictions
+
+    # ------------------------------------------------------------------ #
+    def _metric(self, ctx: SlaveSelectionContext) -> np.ndarray:
+        return selection_metric(ctx, use_predictions=self.use_predictions)
+
+    def select(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if ctx.ncb <= 0:
+            return []
+        candidates = [int(q) for q in ctx.candidates]
+        if not candidates:
+            return []
+        metric = self._metric(ctx)
+        mem = np.array([float(metric[q]) for q in candidates])
+        order = np.argsort(mem, kind="stable")
+        sorted_procs = [candidates[int(i)] for i in order]
+        sorted_mem = mem[order]
+
+        nfront = max(ctx.nfront, 1)
+        # the "surface" to distribute: the slave part of the frontal matrix
+        surface = float(ctx.ncb) * float(nfront)
+
+        # find the largest prefix 1..i whose levelling cost fits in the surface
+        best = 1
+        for i in range(1, len(sorted_procs) + 1):
+            level = sorted_mem[i - 1]
+            cost = float(np.sum(level - sorted_mem[:i]))
+            if cost <= surface:
+                best = i
+            else:
+                break
+        # granularity constraints
+        max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
+        best = min(best, ctx.max_slaves, max_by_rows)
+        chosen = sorted_procs[:best]
+        chosen_mem = sorted_mem[:best]
+        level = chosen_mem[best - 1]
+
+        # levelling pass: bring every selected slave up to the level of the
+        # most loaded selected one, in rows of the front
+        rows = np.zeros(best, dtype=np.int64)
+        remaining = ctx.ncb
+        for j in range(best):
+            deficit_rows = int((level - chosen_mem[j]) // nfront)
+            give = min(deficit_rows, remaining)
+            rows[j] = give
+            remaining -= give
+            if remaining == 0:
+                break
+        # remaining rows are assigned equitably
+        j = 0
+        while remaining > 0:
+            rows[j % best] += 1
+            remaining -= 1
+            j += 1
+        return [(q, int(r)) for q, r in zip(chosen, rows) if r > 0]

@@ -1,0 +1,64 @@
+"""MUMPS' original workload-based slave selection (the paper's baseline).
+
+Section 3 of the paper: "each (master) processor tries to choose only the
+processors less-loaded than itself, with some granularity constraints.  In
+addition, the selection is done such that the amount of work given to the
+slaves is as balanced as possible with the workload of the corresponding task
+on the master."  The workload metric is the number of floating-point
+operations still to be done.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.base import SlaveSelectionContext, SlaveSelector
+
+__all__ = ["WorkloadSlaveSelector"]
+
+
+class WorkloadSlaveSelector(SlaveSelector):
+    """Choose the least-loaded processors and balance the rows among them."""
+
+    name = "workload"
+
+    def __init__(self, *, proportional: bool = True):
+        #: distribute rows inversely proportionally to the believed loads
+        #: (``True``) or in equal shares (``False``)
+        self.proportional = proportional
+
+    def select(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if ctx.ncb <= 0:
+            return []
+        candidates = [int(q) for q in ctx.candidates]
+        if not candidates:
+            return []
+        loads = np.array([float(ctx.load_view[q]) for q in candidates])
+        order = np.argsort(loads, kind="stable")
+
+        # prefer processors strictly less loaded than the master
+        less_loaded = [candidates[int(i)] for i in order if loads[int(i)] < ctx.own_load]
+        chosen_pool = less_loaded if less_loaded else [candidates[int(i)] for i in order]
+
+        # granularity constraints: each slave must receive a useful amount of
+        # rows, and the number of slaves is bounded
+        max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
+        nslaves = min(len(chosen_pool), ctx.max_slaves, max_by_rows)
+        chosen = chosen_pool[:nslaves]
+
+        if self.proportional:
+            # fewer rows to more-loaded slaves: weights are the load gaps to
+            # the most loaded candidate plus one row to keep weights positive
+            gaps = np.array([max(float(np.max(ctx.load_view)) - float(ctx.load_view[q]), 0.0) + 1.0 for q in chosen])
+            weights = gaps / gaps.sum()
+        else:
+            weights = np.full(len(chosen), 1.0 / len(chosen))
+        rows = np.floor(weights * ctx.ncb).astype(int)
+        # distribute the remainder one row at a time to the least loaded
+        remainder = ctx.ncb - int(rows.sum())
+        k = 0
+        while remainder > 0 and chosen:
+            rows[k % len(chosen)] += 1
+            remainder -= 1
+            k += 1
+        return [(q, int(r)) for q, r in zip(chosen, rows) if r > 0]

@@ -1,0 +1,37 @@
+"""Sparse-pattern substrate.
+
+The multifrontal analysis in this package is purely *structural*: the
+algorithms (orderings, elimination trees, symbolic factorization, memory
+simulation) only need the nonzero pattern of the matrix, never its values.
+:class:`~repro.sparse.pattern.SparsePattern` is the pattern container used
+throughout; :mod:`repro.sparse.generators` builds the synthetic analogues of
+the paper's test problems; :mod:`repro.sparse.rb_io` provides a small
+text-based exchange format so problems can be saved and reloaded.
+"""
+
+from repro.sparse.pattern import SparsePattern
+from repro.sparse.generators import (
+    grid_2d,
+    grid_3d,
+    fem_block_pattern,
+    normal_equations,
+    circuit_pattern,
+    random_pattern,
+    arrow_pattern,
+    banded_pattern,
+)
+from repro.sparse.rb_io import save_pattern, load_pattern
+
+__all__ = [
+    "SparsePattern",
+    "grid_2d",
+    "grid_3d",
+    "fem_block_pattern",
+    "normal_equations",
+    "circuit_pattern",
+    "random_pattern",
+    "arrow_pattern",
+    "banded_pattern",
+    "save_pattern",
+    "load_pattern",
+]

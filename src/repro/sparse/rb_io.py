@@ -1,0 +1,86 @@
+"""Tiny text-based exchange format for sparse patterns.
+
+The paper's matrices come from the Rutherford-Boeing collection; the real
+files are not available offline, but the reproduction still provides a small
+pattern exchange format ("RBP", Rutherford-Boeing-pattern-lite) so generated
+problems can be saved, inspected and reloaded, and so users with access to
+real matrices can feed them in after a trivial conversion.
+
+Format (plain text)::
+
+    %%RBP <name> <SYM|UNS>
+    <n> <nnz>
+    <row> <col>            # one entry per line, 0-based
+
+MatrixMarket ``pattern`` files are also accepted by :func:`load_pattern`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.pattern import SparsePattern
+
+__all__ = ["save_pattern", "load_pattern"]
+
+
+def save_pattern(pattern: SparsePattern, path: Union[str, os.PathLike]) -> None:
+    """Write ``pattern`` to ``path`` in the RBP text format."""
+    rows = np.repeat(np.arange(pattern.n, dtype=np.int64), np.diff(pattern.indptr))
+    cols = pattern.indices
+    kind = "SYM" if pattern.symmetric else "UNS"
+    name = pattern.name or "pattern"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"%%RBP {name} {kind}\n")
+        fh.write(f"{pattern.n} {pattern.nnz}\n")
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            fh.write(f"{r} {c}\n")
+
+
+def _load_rbp(lines: list[str]) -> SparsePattern:
+    header = lines[0].split()
+    name = header[1] if len(header) > 1 else "pattern"
+    symmetric = len(header) > 2 and header[2].upper() == "SYM"
+    n, nnz = (int(x) for x in lines[1].split()[:2])
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    for k, line in enumerate(lines[2:2 + nnz]):
+        parts = line.split()
+        rows[k] = int(parts[0])
+        cols[k] = int(parts[1])
+    return SparsePattern.from_coo(n, rows, cols, symmetric=symmetric, name=name)
+
+
+def _load_matrixmarket(lines: list[str]) -> SparsePattern:
+    header = lines[0].lower()
+    symmetric = "symmetric" in header
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.lstrip().startswith("%")]
+    nrows, ncols, nnz = (int(x) for x in body[0].split()[:3])
+    if nrows != ncols:
+        raise ValueError("only square MatrixMarket matrices are supported")
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    for k, line in enumerate(body[1:1 + nnz]):
+        parts = line.split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+    return SparsePattern.from_coo(
+        nrows, rows, cols, symmetric=symmetric, symmetrize_pattern=symmetric, name="matrixmarket"
+    )
+
+
+def load_pattern(path: Union[str, os.PathLike]) -> SparsePattern:
+    """Load a pattern from an RBP or MatrixMarket ``pattern`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty file")
+    head = lines[0]
+    if head.startswith("%%RBP"):
+        return _load_rbp(lines)
+    if head.startswith("%%MatrixMarket"):
+        return _load_matrixmarket(lines)
+    raise ValueError(f"{path}: unrecognised header {head[:40]!r}")

@@ -1,0 +1,393 @@
+"""The assembly tree of the multifrontal method.
+
+Each node of the assembly tree owns a *frontal matrix* of order ``nfront``
+whose first ``npiv`` variables are fully summed (eliminated at this node) and
+whose trailing ``nfront - npiv`` variables form the *contribution block* (CB)
+passed to the parent (Section 2 of the paper).  The tree, together with the
+symmetric/unsymmetric storage convention, completely determines the factor
+sizes, the contribution-block sizes and the elimination flop counts — which
+is all the scheduling simulation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.analysis.flops import (
+    assembly_flops,
+    cb_entries,
+    factor_entries,
+    front_entries,
+    partial_factorization_flops,
+    type2_master_flops,
+    type2_slave_flops,
+)
+from repro.sparse.pattern import SparsePattern
+from repro.symbolic.colcounts import column_counts
+from repro.symbolic.etree import elimination_tree, postorder
+from repro.symbolic.supernodes import Supernode, amalgamate, fundamental_supernodes
+
+__all__ = ["FrontNode", "AssemblyTree", "build_assembly_tree"]
+
+
+@dataclass(frozen=True)
+class FrontNode:
+    """Read-only view of one assembly-tree node."""
+
+    index: int
+    npiv: int
+    nfront: int
+    parent: int
+    children: tuple[int, ...]
+    variables: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def cb_order(self) -> int:
+        """Order of the contribution block."""
+        return self.nfront - self.npiv
+
+    @property
+    def is_leaf(self) -> bool:
+        return len(self.children) == 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent < 0
+
+
+class AssemblyTree:
+    """Assembly tree with per-node frontal-matrix geometry.
+
+    The tree is stored as parallel arrays (structure-of-arrays) so that the
+    analysis passes can stay vectorised; :meth:`node` provides a convenient
+    object view of a single node.
+
+    Invariants (checked by :meth:`validate`):
+
+    * nodes are numbered in a valid topological order — every child index is
+      smaller than its parent index (postorder of the construction);
+    * ``1 <= npiv[i] <= nfront[i]`` for every node;
+    * the pivots of all nodes partition ``range(nvars)`` when the tree was
+      built from a matrix (trees built synthetically may skip the variable
+      lists).
+    """
+
+    def __init__(
+        self,
+        npiv: Sequence[int],
+        nfront: Sequence[int],
+        parent: Sequence[int],
+        *,
+        symmetric: bool = True,
+        nvars: int | None = None,
+        variables: Sequence[Sequence[int]] | None = None,
+        name: str = "",
+    ) -> None:
+        self.npiv = np.asarray(npiv, dtype=np.int64).copy()
+        self.nfront = np.asarray(nfront, dtype=np.int64).copy()
+        self.parent = np.asarray(parent, dtype=np.int64).copy()
+        if not (self.npiv.shape == self.nfront.shape == self.parent.shape):
+            raise ValueError("npiv, nfront and parent must have the same length")
+        self.symmetric = bool(symmetric)
+        self.name = name
+        self.nvars = int(nvars) if nvars is not None else int(self.npiv.sum())
+        self.variables: list[tuple[int, ...]] | None = None
+        if variables is not None:
+            if len(variables) != self.nnodes:
+                raise ValueError("variables must have one entry per node")
+            self.variables = [tuple(int(v) for v in vs) for vs in variables]
+        self._children: list[list[int]] = [[] for _ in range(self.nnodes)]
+        for j in range(self.nnodes):
+            p = int(self.parent[j])
+            if p >= 0:
+                self._children[p].append(j)
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nnodes(self) -> int:
+        return int(self.npiv.size)
+
+    @property
+    def roots(self) -> list[int]:
+        return [j for j in range(self.nnodes) if self.parent[j] < 0]
+
+    def children(self, i: int) -> list[int]:
+        return list(self._children[i])
+
+    def node(self, i: int) -> FrontNode:
+        return FrontNode(
+            index=i,
+            npiv=int(self.npiv[i]),
+            nfront=int(self.nfront[i]),
+            parent=int(self.parent[i]),
+            children=tuple(self._children[i]),
+            variables=tuple(self.variables[i]) if self.variables is not None else (),
+        )
+
+    def __iter__(self) -> Iterator[FrontNode]:
+        return (self.node(i) for i in range(self.nnodes))
+
+    def __len__(self) -> int:
+        return self.nnodes
+
+    def cb_order(self, i: int) -> int:
+        return int(self.nfront[i] - self.npiv[i])
+
+    def leaves(self) -> list[int]:
+        return [j for j in range(self.nnodes) if not self._children[j]]
+
+    def topological_order(self) -> np.ndarray:
+        """Children-before-parents order (node indices already satisfy it)."""
+        return np.arange(self.nnodes, dtype=np.int64)
+
+    def reverse_topological_order(self) -> np.ndarray:
+        return np.arange(self.nnodes - 1, -1, -1, dtype=np.int64)
+
+    def subtree_nodes(self, root: int) -> list[int]:
+        """All nodes of the subtree rooted at ``root`` (root included)."""
+        out: list[int] = []
+        stack = [root]
+        while stack:
+            j = stack.pop()
+            out.append(j)
+            stack.extend(self._children[j])
+        return out
+
+    def depth(self) -> int:
+        """Number of levels of the tree (1 for a single node)."""
+        if self.nnodes == 0:
+            return 0
+        level = np.zeros(self.nnodes, dtype=np.int64)
+        for j in range(self.nnodes - 1, -1, -1):
+            p = int(self.parent[j])
+            level[j] = 0 if p < 0 else level[p] + 1
+        return int(level.max()) + 1
+
+    def levels(self) -> np.ndarray:
+        """Depth of every node (roots at level 0)."""
+        level = np.zeros(self.nnodes, dtype=np.int64)
+        for j in range(self.nnodes - 1, -1, -1):
+            p = int(self.parent[j])
+            level[j] = 0 if p < 0 else level[p] + 1
+        return level
+
+    # ------------------------------------------------------------------ #
+    # memory / flops models (delegated to repro.analysis.flops)
+    # ------------------------------------------------------------------ #
+    def front_entries(self, i: int) -> int:
+        """Entries of the full frontal matrix of node ``i``."""
+        return front_entries(int(self.nfront[i]), self.symmetric)
+
+    def factor_entries(self, i: int) -> int:
+        """Entries of the factors produced by node ``i``."""
+        return factor_entries(int(self.npiv[i]), int(self.nfront[i]), self.symmetric)
+
+    def cb_entries(self, i: int) -> int:
+        """Entries of the contribution block produced by node ``i``."""
+        return cb_entries(int(self.npiv[i]), int(self.nfront[i]), self.symmetric)
+
+    def factor_flops(self, i: int) -> float:
+        """Flops of the partial factorization performed at node ``i``."""
+        return partial_factorization_flops(int(self.npiv[i]), int(self.nfront[i]), self.symmetric)
+
+    def assembly_flops(self, i: int) -> float:
+        """Flops (entry additions) of assembling the children CBs into ``i``."""
+        return assembly_flops([self.cb_entries(c) for c in self._children[i]])
+
+    def master_entries(self, i: int) -> int:
+        """Entries of the *master part* of node ``i`` when treated as type 2.
+
+        The master holds the fully summed rows of the front: ``npiv × nfront``
+        entries in the unsymmetric case (the ``U`` rows), and the pivot
+        triangle in the symmetric case (the rows below belong to the slaves'
+        blocks, Figure 3 of the paper).  This is the quantity the paper's
+        splitting threshold (2·10⁶ entries) applies to, and it is also what
+        the master's factors amount to, so that master + slave factor pieces
+        always sum to :meth:`factor_entries`.
+        """
+        npiv = int(self.npiv[i])
+        nfront = int(self.nfront[i])
+        if self.symmetric:
+            return npiv * (npiv + 1) // 2
+        return npiv * nfront
+
+    def type2_master_flops(self, i: int) -> float:
+        return type2_master_flops(int(self.npiv[i]), int(self.nfront[i]), self.symmetric)
+
+    def type2_slave_flops(self, i: int, nrows: int) -> float:
+        return type2_slave_flops(int(self.npiv[i]), int(self.nfront[i]), nrows, self.symmetric)
+
+    def total_factor_entries(self) -> int:
+        return int(sum(self.factor_entries(i) for i in range(self.nnodes)))
+
+    def total_flops(self) -> float:
+        return float(sum(self.factor_flops(i) for i in range(self.nnodes)))
+
+    def subtree_flops(self, root: int) -> float:
+        return float(sum(self.factor_flops(i) for i in self.subtree_nodes(root)))
+
+    def subtree_factor_entries(self, root: int) -> int:
+        return int(sum(self.factor_entries(i) for i in self.subtree_nodes(root)))
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the structural invariants; raise ``ValueError`` on failure."""
+        n = self.nnodes
+        for j in range(n):
+            p = int(self.parent[j])
+            if p >= n:
+                raise ValueError(f"node {j}: parent {p} out of range")
+            if 0 <= p <= j:
+                raise ValueError(f"node {j}: parent {p} does not follow it (tree not postordered)")
+            if self.npiv[j] < 1:
+                raise ValueError(f"node {j}: npiv must be >= 1")
+            if self.nfront[j] < self.npiv[j]:
+                raise ValueError(f"node {j}: nfront < npiv")
+        if self.variables is not None:
+            seen: set[int] = set()
+            for j, vs in enumerate(self.variables):
+                if len(vs) != int(self.npiv[j]):
+                    raise ValueError(f"node {j}: variable list length != npiv")
+                overlap = seen.intersection(vs)
+                if overlap:
+                    raise ValueError(f"node {j}: variables {sorted(overlap)[:5]} appear twice")
+                seen.update(vs)
+            if len(seen) != self.nvars:
+                raise ValueError("variable lists do not cover all matrix columns")
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics (used by the Table 1 harness and examples)."""
+        cb = np.array([self.cb_entries(i) for i in range(self.nnodes)], dtype=np.float64)
+        return {
+            "nodes": float(self.nnodes),
+            "nvars": float(self.nvars),
+            "depth": float(self.depth()),
+            "leaves": float(len(self.leaves())),
+            "max_front": float(self.nfront.max()) if self.nnodes else 0.0,
+            "mean_front": float(self.nfront.mean()) if self.nnodes else 0.0,
+            "max_npiv": float(self.npiv.max()) if self.nnodes else 0.0,
+            "factor_entries": float(self.total_factor_entries()),
+            "total_flops": float(self.total_flops()),
+            "max_cb_entries": float(cb.max()) if self.nnodes else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # rendering (Figure 1 / Figure 2 style ascii output)
+    # ------------------------------------------------------------------ #
+    def render_ascii(self, *, annotate=None, max_nodes: int = 200) -> str:
+        """Indented ascii rendering of the tree (roots first).
+
+        ``annotate`` is an optional callable ``node_index -> str`` appended
+        to each line; rendering stops after ``max_nodes`` nodes.
+        """
+        lines: list[str] = []
+        count = 0
+        for root in sorted(self.roots, reverse=True):
+            stack: list[tuple[int, int]] = [(root, 0)]
+            while stack and count < max_nodes:
+                j, depth = stack.pop()
+                extra = f"  {annotate(j)}" if annotate is not None else ""
+                lines.append(
+                    "  " * depth
+                    + f"[{j}] npiv={int(self.npiv[j])} nfront={int(self.nfront[j])}"
+                    + extra
+                )
+                count += 1
+                for c in sorted(self._children[j]):
+                    stack.append((c, depth + 1))
+        if count >= max_nodes:
+            lines.append(f"... ({self.nnodes - max_nodes} more nodes)")
+        return "\n".join(lines)
+
+    def copy(self) -> "AssemblyTree":
+        return AssemblyTree(
+            self.npiv.copy(),
+            self.nfront.copy(),
+            self.parent.copy(),
+            symmetric=self.symmetric,
+            nvars=self.nvars,
+            variables=self.variables,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AssemblyTree(nodes={self.nnodes}, nvars={self.nvars}, "
+            f"{'SYM' if self.symmetric else 'UNS'}, max_front={int(self.nfront.max()) if self.nnodes else 0})"
+        )
+
+
+def build_assembly_tree(
+    pattern: SparsePattern,
+    ordering: np.ndarray | None = None,
+    *,
+    amalgamation_min_pivots: int = 8,
+    amalgamation_relax: float = 0.25,
+    amalgamation_max_front: int | None = None,
+    keep_variables: bool = True,
+    name: str | None = None,
+) -> AssemblyTree:
+    """Full symbolic analysis: pattern + ordering → assembly tree.
+
+    Pipeline (mirrors the analysis phase of a multifrontal solver):
+
+    1. apply the fill-reducing ``ordering`` (identity when ``None``);
+    2. symmetrize the pattern and compute the elimination tree;
+    3. postorder the tree and relabel the matrix accordingly;
+    4. compute the column counts of ``L``;
+    5. detect fundamental supernodes;
+    6. relaxed amalgamation;
+    7. emit the :class:`AssemblyTree`.
+
+    The ``ordering`` follows the :meth:`SparsePattern.permuted` convention:
+    ``ordering[k]`` is the original variable eliminated at step ``k``.
+    """
+    work = pattern
+    perm_total = np.arange(pattern.n, dtype=np.int64)
+    if ordering is not None:
+        ordering = np.asarray(ordering, dtype=np.int64)
+        work = work.permuted(ordering)
+        perm_total = ordering.copy()
+
+    sym = work.symmetrized().with_diagonal()
+    parent = elimination_tree(sym)
+    post = postorder(parent)
+    # relabel so that columns appear in postorder; the resulting etree is
+    # monotone (parent > child), which the supernode detection requires
+    sym_post = sym.permuted(post)
+    perm_total = perm_total[post]
+    parent_post = elimination_tree(sym_post)
+    counts = column_counts(sym_post, parent_post)
+
+    membership, supernodes = fundamental_supernodes(parent_post, counts)
+    merged, _ = amalgamate(
+        supernodes,
+        min_pivots=amalgamation_min_pivots,
+        relax=amalgamation_relax,
+        max_front=amalgamation_max_front,
+        symmetric=pattern.symmetric,
+    )
+
+    npiv = [sn.npiv for sn in merged]
+    nfront = [sn.nfront for sn in merged]
+    parent_sn = [sn.parent for sn in merged]
+    variables = None
+    if keep_variables:
+        variables = [tuple(int(perm_total[c]) for c in sn.columns) for sn in merged]
+    return AssemblyTree(
+        npiv,
+        nfront,
+        parent_sn,
+        symmetric=pattern.symmetric,
+        nvars=pattern.n,
+        variables=variables,
+        name=name if name is not None else pattern.name,
+    )

@@ -1,0 +1,97 @@
+"""Shared fixtures of the test suite.
+
+Everything here is deliberately *small*: the unit tests exercise behaviours
+and invariants, not performance, so grids of a few hundred unknowns and 4–8
+simulated processors are enough and keep the whole suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import compute_mapping
+from repro.ordering import compute_ordering
+from repro.runtime import SimulationConfig
+from repro.sparse import SparsePattern, arrow_pattern, banded_pattern, grid_2d, grid_3d, random_pattern
+from repro.symbolic import AssemblyTree, build_assembly_tree
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> SparsePattern:
+    """A 10×10 five-point grid (100 unknowns, symmetric)."""
+    return grid_2d(10, 10)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> SparsePattern:
+    """An 8×8×8 seven-point grid (512 unknowns, symmetric)."""
+    return grid_3d(8, 8, 8)
+
+
+@pytest.fixture(scope="session")
+def unsym_pattern() -> SparsePattern:
+    """A small unsymmetric pattern with full structural diagonal."""
+    return random_pattern(120, density=0.03, symmetric=False, seed=3)
+
+
+@pytest.fixture(scope="session")
+def band_pattern() -> SparsePattern:
+    return banded_pattern(40, bandwidth=2)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_grid) -> AssemblyTree:
+    """Assembly tree of the 10×10 grid under nested dissection."""
+    perm = compute_ordering(small_grid, "metis")
+    return build_assembly_tree(small_grid, perm)
+
+
+@pytest.fixture(scope="session")
+def medium_tree(medium_grid) -> AssemblyTree:
+    """Assembly tree of the 8×8×8 grid under nested dissection."""
+    perm = compute_ordering(medium_grid, "metis")
+    return build_assembly_tree(medium_grid, perm)
+
+
+@pytest.fixture(scope="session")
+def unsym_tree(unsym_pattern) -> AssemblyTree:
+    perm = compute_ordering(unsym_pattern, "amd")
+    return build_assembly_tree(unsym_pattern, perm)
+
+
+@pytest.fixture(scope="session")
+def medium_mapping(medium_tree):
+    """Static mapping of the medium tree over 4 processors."""
+    return compute_mapping(
+        medium_tree, 4, type2_front_threshold=40, type2_cb_threshold=8, type3_front_threshold=80
+    )
+
+
+@pytest.fixture()
+def sim_config() -> SimulationConfig:
+    """Simulation configuration used by most simulator tests (4 processors)."""
+    return SimulationConfig(
+        nprocs=4,
+        type2_front_threshold=40,
+        type2_cb_threshold=8,
+        type3_front_threshold=80,
+    )
+
+
+@pytest.fixture(scope="session")
+def chain_tree() -> AssemblyTree:
+    """Hand-built path tree: 4 nodes, each the only child of the next."""
+    npiv = [4, 3, 3, 5]
+    nfront = [10, 9, 7, 5]
+    parent = [1, 2, 3, -1]
+    return AssemblyTree(npiv, nfront, parent, symmetric=True, nvars=15)
+
+
+@pytest.fixture(scope="session")
+def forked_tree() -> AssemblyTree:
+    """Hand-built tree with two leaves feeding one root (Figure 1 shape)."""
+    npiv = [2, 2, 2]
+    nfront = [4, 4, 2]
+    parent = [2, 2, -1]
+    return AssemblyTree(npiv, nfront, parent, symmetric=True, nvars=6)

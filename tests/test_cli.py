@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_target(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "XENON2" in out
+    assert "memory-full" in out
+    assert "metis" in out
+
+
+def test_single_figure(capsys):
+    assert main(["figure8"]) == 0
+    out = capsys.readouterr().out
+    assert "FIGURE8" in out
+    assert "Algorithm 2" in out
+
+
+def test_single_table_small(capsys):
+    code = main(
+        ["table2", "--nprocs", "4", "--scale", "0.2", "--problems", "XENON2", "--orderings", "metis"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TABLE2" in out
+    assert "XENON2" in out
+
+
+def test_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["table1"])
+    assert args.nprocs == 32
+    assert args.scale == 1.0

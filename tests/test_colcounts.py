@@ -1,0 +1,110 @@
+"""Tests for the column-count computation (Gilbert-Ng-Peyton vs. reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import SparsePattern, arrow_pattern, banded_pattern, grid_2d, grid_3d, random_pattern
+from repro.symbolic import column_counts, column_counts_naive, elimination_tree, postorder
+from repro.symbolic.colcounts import symbolic_fill
+
+
+class TestColumnCounts:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            banded_pattern(15, bandwidth=1),
+            banded_pattern(15, bandwidth=3),
+            grid_2d(6, 6),
+            grid_2d(7, 4, stencil=9),
+            grid_3d(4, 4, 4),
+            arrow_pattern(20, bandwidth=2, arrow_width=2),
+            random_pattern(40, density=0.08, symmetric=True, seed=1),
+        ],
+        ids=["band1", "band3", "grid2d", "grid2d9", "grid3d", "arrow", "random"],
+    )
+    def test_matches_naive(self, pattern):
+        assert np.array_equal(column_counts(pattern), column_counts_naive(pattern))
+
+    def test_band_counts_closed_form(self):
+        # a tridiagonal matrix fills nothing: colcount(j) = min(2, n - j)
+        p = banded_pattern(10, bandwidth=1)
+        counts = column_counts(p)
+        expected = [2] * 9 + [1]
+        assert list(counts) == expected
+
+    def test_dense_counts(self):
+        n = 8
+        rows, cols = np.meshgrid(np.arange(n), np.arange(n))
+        p = SparsePattern.from_coo(n, rows.ravel(), cols.ravel(), symmetric=True)
+        counts = column_counts(p)
+        assert list(counts) == list(range(n, 0, -1))
+
+    def test_counts_bounded_by_n(self, small_grid):
+        counts = column_counts(small_grid)
+        assert counts.min() >= 1
+        assert counts.max() <= small_grid.n
+
+    def test_accepts_precomputed_etree(self, small_grid):
+        sym = small_grid.symmetrized().with_diagonal()
+        parent = elimination_tree(sym)
+        post = postorder(parent)
+        a = column_counts(sym, parent, post)
+        b = column_counts(sym)
+        assert np.array_equal(a, b)
+
+    def test_permutation_changes_fill_not_validity(self, small_grid):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_grid.n)
+        counts = column_counts(small_grid.permuted(perm))
+        assert counts.min() >= 1 and counts.max() <= small_grid.n
+
+
+class TestSymbolicFill:
+    def test_summary_keys(self, small_grid):
+        info = symbolic_fill(small_grid)
+        assert set(info) == {"nnz_L", "fill_ratio", "flops"}
+        assert info["nnz_L"] >= small_grid.n
+        assert info["fill_ratio"] >= 1.0
+        assert info["flops"] > 0
+
+    def test_band_has_no_fill(self):
+        p = banded_pattern(20, bandwidth=1)
+        info = symbolic_fill(p)
+        assert info["fill_ratio"] == pytest.approx(1.0)
+
+    def test_nnz_L_equals_sum_of_counts(self, small_grid):
+        counts = column_counts(small_grid)
+        assert symbolic_fill(small_grid)["nnz_L"] == pytest.approx(float(counts.sum()))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=20), seed=st.integers(0, 1000))
+def test_property_gnp_equals_naive(n, seed):
+    """The skeleton algorithm agrees with the row-subtree reference."""
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(0.2 * n * n))
+    pattern = SparsePattern.from_coo(
+        n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), symmetrize_pattern=True
+    )
+    assert np.array_equal(column_counts(pattern), column_counts_naive(pattern))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=15), seed=st.integers(0, 1000))
+def test_property_counts_decrease_along_supernode(n, seed):
+    """Within the etree, a child's count is at most its parent's count + 1."""
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(0.25 * n * n))
+    pattern = SparsePattern.from_coo(
+        n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), symmetrize_pattern=True
+    )
+    sym = pattern.symmetrized().with_diagonal()
+    parent = elimination_tree(sym)
+    counts = column_counts(sym, parent)
+    for j in range(n):
+        p = int(parent[j])
+        if p >= 0:
+            # struct(L(:,j)) \ {j} is contained in struct(L(:,parent))
+            assert counts[j] - 1 <= counts[p]

@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    arrow_pattern,
+    banded_pattern,
+    circuit_pattern,
+    fem_block_pattern,
+    grid_2d,
+    grid_3d,
+    normal_equations,
+    random_pattern,
+)
+
+
+class TestGrids:
+    def test_grid_2d_size_and_symmetry(self):
+        g = grid_2d(4, 6)
+        assert g.n == 24
+        assert g.is_structurally_symmetric()
+        assert g.has_diagonal()
+
+    def test_grid_2d_5pt_nnz(self):
+        # nnz = n (diagonal) + 2 * number of grid edges
+        nx, ny = 5, 7
+        g = grid_2d(nx, ny, stencil=5)
+        edges = nx * (ny - 1) + ny * (nx - 1)
+        assert g.nnz == nx * ny + 2 * edges
+
+    def test_grid_2d_9pt_has_diagonal_neighbours(self):
+        g = grid_2d(3, 3, stencil=9)
+        # centre vertex (index 4) touches all 8 neighbours plus itself
+        assert g.row(4).size == 9
+
+    def test_grid_3d_7pt_interior_degree(self):
+        g = grid_3d(4, 4, 4, stencil=7)
+        deg = g.degrees()
+        assert deg.max() == 6
+
+    def test_grid_3d_27pt_interior_degree(self):
+        g = grid_3d(4, 4, 4, stencil=27)
+        assert g.degrees().max() == 26
+
+    def test_grid_invalid_args(self):
+        with pytest.raises(ValueError):
+            grid_2d(0, 3)
+        with pytest.raises(ValueError):
+            grid_2d(3, 3, stencil=7)
+        with pytest.raises(ValueError):
+            grid_3d(2, 2, 2, stencil=9)
+
+    def test_grid_unsymmetric_flag(self):
+        g = grid_3d(3, 3, 3, symmetric=False)
+        assert not g.symmetric
+        # the pattern itself is still structurally symmetric (stencil)
+        assert g.is_structurally_symmetric()
+
+
+class TestFemBlock:
+    def test_block_expansion_size(self):
+        base = grid_2d(3, 3)
+        fem = fem_block_pattern(base, 3)
+        assert fem.n == base.n * 3
+        assert fem.nnz == base.nnz * 9
+
+    def test_block_expansion_identity(self):
+        base = grid_2d(3, 3)
+        assert fem_block_pattern(base, 1).nnz == base.nnz
+
+    def test_block_expansion_coupling(self):
+        base = grid_2d(2, 2)
+        fem = fem_block_pattern(base, 2)
+        # base edge (0,1) must expand to the full 2x2 block
+        assert 2 in fem.row(0) and 3 in fem.row(0) and 2 in fem.row(1) and 3 in fem.row(1)
+
+    def test_block_invalid(self):
+        with pytest.raises(ValueError):
+            fem_block_pattern(grid_2d(2, 2), 0)
+
+
+class TestNormalEquations:
+    def test_shape_and_symmetry(self):
+        p = normal_equations(60, 200, seed=1)
+        assert p.n == 60
+        assert p.is_structurally_symmetric()
+        assert p.has_diagonal()
+
+    def test_dense_rows_increase_density(self):
+        sparse = normal_equations(60, 200, seed=1, dense_rows=0)
+        dense = normal_equations(60, 200, seed=1, dense_rows=2)
+        assert dense.nnz > sparse.nnz
+
+    def test_deterministic(self):
+        a = normal_equations(40, 100, seed=7)
+        b = normal_equations(40, 100, seed=7)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            normal_equations(0, 10)
+
+
+class TestCircuit:
+    def test_basic_properties(self):
+        c = circuit_pattern(300, seed=2)
+        assert c.n == 300
+        assert not c.symmetric
+        assert c.has_diagonal()
+
+    def test_partial_symmetry(self):
+        c = circuit_pattern(400, symmetry=0.5, seed=3)
+        assert 0.2 < c.structural_symmetry() < 1.0
+
+    def test_dense_rows_present(self):
+        c = circuit_pattern(300, n_dense_rows=2, dense_fraction=0.2, seed=4)
+        row_sizes = np.diff(c.indptr)
+        assert row_sizes.max() >= 0.15 * 300
+
+    def test_deterministic(self):
+        assert circuit_pattern(200, seed=9) == circuit_pattern(200, seed=9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            circuit_pattern(1)
+
+
+class TestRandomArrowBand:
+    def test_random_density(self):
+        p = random_pattern(100, density=0.05, seed=0)
+        assert p.n == 100
+        # duplicates shrink the count a little; just sanity-bound it
+        assert 0.5 * 0.05 * 100 * 100 < p.nnz <= 0.05 * 100 * 100 + 100
+
+    def test_random_symmetric(self):
+        p = random_pattern(80, density=0.05, symmetric=True, seed=1)
+        assert p.is_structurally_symmetric()
+
+    def test_random_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_pattern(10, density=2.0)
+
+    def test_arrow_structure(self):
+        p = arrow_pattern(20, bandwidth=1, arrow_width=2)
+        # the last two rows are dense
+        assert p.row(19).size == 20
+        assert p.row(18).size == 20
+        assert p.is_structurally_symmetric()
+
+    def test_banded_structure(self):
+        p = banded_pattern(12, bandwidth=3)
+        assert p.row(0).size == 4  # diagonal + 3 superdiagonals
+        assert p.row(6).size == 7
+
+    def test_band_invalid(self):
+        with pytest.raises(ValueError):
+            banded_pattern(0)
+        with pytest.raises(ValueError):
+            arrow_pattern(1)

@@ -1,0 +1,80 @@
+"""Tests for the sequential memory trace simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    sequential_memory_trace,
+    sequential_stack_peak,
+    subtree_stack_peaks,
+)
+from repro.symbolic import AssemblyTree, sequential_peak_of_tree
+
+
+class TestSequentialTrace:
+    def test_final_factors_match(self, medium_tree):
+        trace = sequential_memory_trace(medium_tree)
+        assert trace.final_factors == pytest.approx(medium_tree.total_factor_entries())
+
+    def test_trace_peak_matches_recursive_model(self, medium_tree, chain_tree, forked_tree):
+        for tree in (medium_tree, chain_tree, forked_tree):
+            trace_peak = sequential_memory_trace(tree, child_order="liu").peak_working
+            model_peak, _ = sequential_peak_of_tree(tree, child_order="liu")
+            assert trace_peak == pytest.approx(model_peak)
+
+    def test_stack_never_negative(self, medium_tree):
+        trace = sequential_memory_trace(medium_tree)
+        assert min(trace.stack) >= -1e-9
+
+    def test_stack_ends_with_root_cbs_only(self, medium_tree):
+        trace = sequential_memory_trace(medium_tree)
+        expected = sum(medium_tree.cb_entries(r) for r in medium_tree.roots)
+        assert trace.stack[-1] == pytest.approx(expected)
+
+    def test_factors_monotone(self, medium_tree):
+        trace = sequential_memory_trace(medium_tree)
+        factors = np.asarray(trace.factors)
+        assert np.all(np.diff(factors) >= -1e-9)
+
+    def test_events_per_node(self, small_tree):
+        trace = sequential_memory_trace(small_tree)
+        # allocate + assemble + factorize per node
+        assert len(trace) == 3 * small_tree.nnodes
+
+    def test_natural_vs_liu_order(self, medium_tree):
+        liu = sequential_memory_trace(medium_tree, child_order="liu").peak_working
+        nat = sequential_memory_trace(medium_tree, child_order="natural").peak_working
+        assert liu <= nat + 1e-9
+
+    def test_as_arrays(self, small_tree):
+        arrays = sequential_memory_trace(small_tree).as_arrays()
+        assert set(arrays) == {"factors", "stack", "active", "working"}
+        assert all(len(v) == 3 * small_tree.nnodes for v in arrays.values())
+
+    def test_empty_trace_defaults(self):
+        from repro.analysis.memory import MemoryTrace
+
+        t = MemoryTrace()
+        assert t.peak_working == 0.0
+        assert t.peak_stack == 0.0
+        assert t.final_factors == 0.0
+
+
+class TestConvenienceWrappers:
+    def test_sequential_stack_peak(self, medium_tree):
+        assert sequential_stack_peak(medium_tree) == pytest.approx(
+            sequential_memory_trace(medium_tree).peak_working
+        )
+
+    def test_subtree_peaks_root_dominates(self, medium_tree):
+        peaks = subtree_stack_peaks(medium_tree)
+        for j in range(medium_tree.nnodes):
+            p = int(medium_tree.parent[j])
+            if p >= 0:
+                # a parent's subtree peak is at least the child's peak
+                assert peaks[p] >= peaks[j] - 1e-9
+
+    def test_subtree_peaks_leaf_equals_front(self, medium_tree):
+        peaks = subtree_stack_peaks(medium_tree)
+        for leaf in medium_tree.leaves():
+            assert peaks[leaf] == pytest.approx(medium_tree.front_entries(leaf))

@@ -1,0 +1,69 @@
+"""Tests for the test-problem registry (Table 1 analogues)."""
+
+import pytest
+
+from repro.experiments import PROBLEMS, SYMMETRIC_PROBLEMS, UNSYMMETRIC_PROBLEMS, get_problem
+
+
+class TestRegistry:
+    def test_eight_problems(self):
+        assert len(PROBLEMS) == 8
+        assert set(PROBLEMS) == {
+            "BMWCRA_1",
+            "GUPTA3",
+            "MSDOOR",
+            "SHIP_003",
+            "PRE2",
+            "TWOTONE",
+            "ULTRASOUND3",
+            "XENON2",
+        }
+
+    def test_symmetry_split_matches_paper(self):
+        assert set(SYMMETRIC_PROBLEMS) == {"BMWCRA_1", "GUPTA3", "MSDOOR", "SHIP_003"}
+        assert set(UNSYMMETRIC_PROBLEMS) == {"PRE2", "TWOTONE", "ULTRASOUND3", "XENON2"}
+
+    def test_get_problem_case_insensitive(self):
+        assert get_problem("xenon2").name == "XENON2"
+
+    def test_get_problem_unknown(self):
+        with pytest.raises(ValueError):
+            get_problem("BCSSTK33")
+
+    def test_paper_metadata_present(self):
+        for spec in PROBLEMS.values():
+            assert spec.paper_order > 0
+            assert spec.paper_nnz > 0
+            assert spec.description
+            assert spec.split_threshold > 0
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", sorted(PROBLEMS))
+    def test_small_scale_build(self, name):
+        spec = get_problem(name)
+        pattern = spec.build(0.2)
+        assert pattern.n >= 50
+        assert pattern.nnz >= pattern.n
+        assert pattern.symmetric == spec.symmetric
+        assert pattern.name == spec.name
+
+    @pytest.mark.parametrize("name", ["XENON2", "TWOTONE"])
+    def test_deterministic(self, name):
+        spec = get_problem(name)
+        assert spec.build(0.3) == spec.build(0.3)
+
+    def test_scale_changes_size(self):
+        spec = get_problem("XENON2")
+        small = spec.build(0.2)
+        large = spec.build(0.5)
+        assert large.n > small.n
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_problem("PRE2").build(0.0)
+
+    def test_symmetric_problems_structurally_symmetric(self):
+        for name in SYMMETRIC_PROBLEMS:
+            pattern = get_problem(name).build(0.2)
+            assert pattern.is_structurally_symmetric()

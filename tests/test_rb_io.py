@@ -1,0 +1,62 @@
+"""Tests for the pattern text I/O."""
+
+import pytest
+
+from repro.sparse import SparsePattern, grid_2d, load_pattern, save_pattern
+
+
+def test_rbp_roundtrip(tmp_path):
+    g = grid_2d(6, 5)
+    path = tmp_path / "grid.rbp"
+    save_pattern(g, path)
+    back = load_pattern(path)
+    assert back.n == g.n
+    assert back.nnz == g.nnz
+    assert back.symmetric == g.symmetric
+
+
+def test_rbp_roundtrip_unsymmetric(tmp_path):
+    p = SparsePattern.from_coo(4, [0, 1, 3], [2, 3, 0], symmetric=False, name="uns")
+    path = tmp_path / "u.rbp"
+    save_pattern(p, path)
+    back = load_pattern(path)
+    assert not back.symmetric
+    assert back.nnz == 3
+    assert back.name == "uns"
+
+
+def test_matrixmarket_pattern(tmp_path):
+    text = """%%MatrixMarket matrix coordinate pattern symmetric
+% comment line
+3 3 3
+1 1
+2 1
+3 2
+"""
+    path = tmp_path / "mm.mtx"
+    path.write_text(text)
+    p = load_pattern(path)
+    assert p.n == 3
+    # symmetric storage: (2,1) implies (1,2)
+    assert 1 in p.row(0)
+
+
+def test_matrixmarket_rejects_rectangular(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n")
+    with pytest.raises(ValueError):
+        load_pattern(path)
+
+
+def test_load_rejects_unknown_header(tmp_path):
+    path = tmp_path / "junk.txt"
+    path.write_text("hello world\n1 1\n")
+    with pytest.raises(ValueError):
+        load_pattern(path)
+
+
+def test_load_rejects_empty(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_pattern(path)

@@ -1,0 +1,154 @@
+"""Tests for the experiment runner, the tables and the figures (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments import figures as figs
+from repro.experiments import tables as tbl
+from repro.experiments.runner import percentage_decrease
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """A small-scale runner shared by the table tests (8 simulated processors)."""
+    return ExperimentRunner(nprocs=8, scale=0.3)
+
+
+class TestRunner:
+    def test_pattern_cached(self, runner):
+        a = runner.pattern("XENON2")
+        b = runner.pattern("XENON2")
+        assert a is b
+
+    def test_analysis_cached(self, runner):
+        a = runner.analysis("XENON2", "metis", split=False)
+        b = runner.analysis("XENON2", "metis", split=False)
+        assert a is b
+        c = runner.analysis("XENON2", "metis", split=True)
+        assert c is not a
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        r1 = ExperimentRunner(nprocs=4, scale=0.2, cache_dir=tmp_path)
+        first = r1.analysis("XENON2", "amd", split=False)
+        r2 = ExperimentRunner(nprocs=4, scale=0.2, cache_dir=tmp_path)
+        second = r2.analysis("XENON2", "amd", split=False)
+        assert second.tree.nnodes == first.tree.nnodes
+        assert list(tmp_path.glob("analysis-*.pkl"))
+
+    def test_run_case_metrics(self, runner):
+        case = runner.run_case("XENON2", "metis", "mumps-workload")
+        assert case.max_peak_stack > 0
+        assert case.total_factor_entries > 0
+        assert case.nprocs == 8
+        assert case.per_proc_peak_stack.shape == (8,)
+
+    def test_same_analysis_for_both_strategies(self, runner):
+        base = runner.run_case("XENON2", "metis", "mumps-workload")
+        mem = runner.run_case("XENON2", "metis", "memory-full")
+        assert base.total_factor_entries == pytest.approx(mem.total_factor_entries)
+
+    def test_compare_fields(self, runner):
+        cmp = runner.compare("XENON2", "metis")
+        for key in ("baseline_peak", "candidate_peak", "gain_percent", "time_loss_percent"):
+            assert key in cmp
+        assert cmp["gain_percent"] == pytest.approx(
+            percentage_decrease(cmp["baseline_peak"], cmp["candidate_peak"])
+        )
+
+    def test_split_changes_tree(self, runner):
+        plain = runner.analysis("PRE2", "amd", split=False)
+        split = runner.analysis("PRE2", "amd", split=True)
+        assert split.tree.nnodes >= plain.tree.nnodes
+
+    def test_sweep(self, runner):
+        results = runner.sweep(["XENON2"], ["metis"], ["mumps-workload", "memory-full"])
+        assert len(results) == 2
+
+    def test_percentage_decrease(self):
+        assert percentage_decrease(100, 80) == pytest.approx(20.0)
+        assert percentage_decrease(100, 120) == pytest.approx(-20.0)
+        assert percentage_decrease(0, 10) == 0.0
+
+
+class TestTables:
+    def test_table1_structure(self, runner):
+        rows = tbl.table1(runner, problems=["XENON2", "PRE2"])
+        assert set(rows) == {"XENON2", "PRE2"}
+        assert rows["XENON2"]["Type"] == "UNS"
+        assert rows["XENON2"]["Order"] > 0
+
+    def test_table2_structure(self, runner):
+        rows = tbl.table2(runner, problems=["XENON2"], orderings=["metis", "amd"])
+        assert set(rows) == {"XENON2"}
+        assert set(rows["XENON2"]) == {"METIS", "AMD"}
+        for value in rows["XENON2"].values():
+            assert isinstance(value, float)
+
+    def test_table3_unsymmetric_default(self, runner):
+        rows = tbl.table3(runner, problems=["XENON2"], orderings=["metis"])
+        assert "XENON2" in rows
+
+    def test_table4_structure(self, runner):
+        rows = tbl.table4(runner, cases=[("XENON2", "metis")])
+        label = "XENON2 - METIS"
+        assert label in rows
+        assert len(rows[label]) == 4
+        for value in rows[label].values():
+            assert value >= 0
+
+    def test_table5_and_6(self, runner):
+        rows5 = tbl.table5(runner, problems=["XENON2"], orderings=["metis"])
+        assert "XENON2" in rows5
+        rows6 = tbl.table6(runner, problems=["XENON2"], orderings=["metis"])
+        assert "XENON2" in rows6
+
+    def test_format_table(self, runner):
+        rows = tbl.table1(runner, problems=["XENON2"])
+        text = tbl.format_table(rows, title="Table 1")
+        assert "Table 1" in text
+        assert "XENON2" in text
+        assert tbl.format_table({}) == ""
+
+
+class TestFigures:
+    def test_figure1(self):
+        data = figs.figure1()
+        assert data["tree"].nvars == 6
+        assert "ascii" in data
+
+    def test_figure2(self):
+        data = figs.figure2(nprocs=4)
+        assert data["mapping"].nprocs == 4
+        assert "TYPE" in data["ascii"] or "SUBTREE" in data["ascii"]
+
+    def test_figure3_blocking(self):
+        data = figs.figure3(npiv=40, nfront=200, nslaves=4)
+        assert sum(data["unsymmetric_rows"]) == 160
+        assert sum(data["symmetric_rows"]) == 160
+        # symmetric blocking is irregular: later blocks hold fewer rows
+        assert data["symmetric_rows"][0] >= data["symmetric_rows"][-1]
+
+    def test_figure4_levelling(self):
+        data = figs.figure4()
+        after = data["memory_after"][1:]
+        before = data["memory_before"][1:]
+        # levelling must shrink the spread of the candidate memories
+        assert (after.max() - after.min()) <= (before.max() - before.min()) + 1e-9
+
+    def test_figure5_runs(self):
+        data = figs.figure5(latency=1e-4)
+        assert set(data["peaks"]) == {"fresh views", "stale views"}
+
+    def test_figure6_prediction_avoids_p0(self):
+        data = figs.figure6()
+        assert data["rows_on_p0_with"] < data["rows_on_p0_without"]
+
+    def test_figure7_pools(self):
+        data = figs.figure7(nprocs=4)
+        assert len(data["pools"]) == 4
+
+    def test_figure8_algorithm2_delays(self):
+        data = figs.figure8()
+        assert data["lifo_choice_node"] == 3
+        assert data["memory_choice_node"] != 3

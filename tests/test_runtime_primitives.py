@@ -1,0 +1,219 @@
+"""Tests for the runtime primitives: events, messages, memory state, views, tasks."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CommunicationModel,
+    EventQueue,
+    ProcessorMemory,
+    SimulationConfig,
+    SystemView,
+    Task,
+    TaskKind,
+)
+from repro.runtime.processor import ProcessorState
+
+
+class TestEventQueue:
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(1.0, "b")
+        q.push(0.5, "c")
+        assert [q.pop().payload for _ in range(3)] == ["c", "a", "b"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 2.0
+
+    def test_push_after(self):
+        q = EventQueue()
+        q.push(1.0, "x")
+        q.pop()
+        ev = q.push_after(0.5, "y")
+        assert ev.time == pytest.approx(1.5)
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.push(1.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(0.5, "y")
+        with pytest.raises(ValueError):
+            q.push_after(-1.0, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_bool_drain(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert len(q) == 2
+        assert [e.payload for e in q.drain()] == ["a", "b"]
+        assert not q
+
+
+class TestCommunicationModel:
+    def test_transfer_time_monotone(self):
+        comm = CommunicationModel(latency=1e-5, bandwidth_entries=1e6)
+        assert comm.transfer_time(0) == pytest.approx(1e-5)
+        assert comm.transfer_time(1000) > comm.transfer_time(10)
+
+    def test_notification_time_override(self):
+        comm = CommunicationModel(latency=1e-5, bandwidth_entries=1e6, small_message_latency=3e-6)
+        assert comm.notification_time() == pytest.approx(3e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(latency=-1)
+        with pytest.raises(ValueError):
+            CommunicationModel(bandwidth_entries=0)
+        with pytest.raises(ValueError):
+            CommunicationModel().transfer_time(-5)
+
+
+class TestProcessorMemory:
+    def test_peak_tracking(self):
+        mem = ProcessorMemory(proc=0)
+        mem.allocate_stack(100, now=1.0)
+        mem.allocate_stack(50, now=2.0)
+        mem.free_stack(120, now=3.0)
+        assert mem.stack == pytest.approx(30)
+        assert mem.peak_stack == pytest.approx(150)
+        assert mem.peak_time == pytest.approx(2.0)
+
+    def test_negative_stack_raises(self):
+        mem = ProcessorMemory(proc=0)
+        mem.allocate_stack(10, now=0.0)
+        with pytest.raises(RuntimeError):
+            mem.free_stack(20, now=1.0)
+
+    def test_factors_grow_only(self):
+        mem = ProcessorMemory(proc=0)
+        mem.add_factors(10, now=0.0)
+        mem.add_factors(5, now=1.0)
+        assert mem.factors == 15
+        assert mem.total == 15
+        with pytest.raises(ValueError):
+            mem.add_factors(-1, now=2.0)
+
+    def test_trace_recording(self):
+        mem = ProcessorMemory(proc=0, track_trace=True)
+        mem.allocate_stack(10, now=0.5)
+        mem.add_factors(3, now=1.0)
+        mem.free_stack(10, now=1.5)
+        assert len(mem.trace_times) == 3
+        assert mem.trace_stack[-1] == pytest.approx(0.0)
+        assert mem.trace_factors[-1] == pytest.approx(3.0)
+
+    def test_invalid_arguments(self):
+        mem = ProcessorMemory(proc=0)
+        with pytest.raises(ValueError):
+            mem.allocate_stack(-1, 0.0)
+        with pytest.raises(ValueError):
+            mem.free_stack(-1, 0.0)
+
+
+class TestSystemView:
+    def test_defaults(self):
+        view = SystemView(nprocs=4, owner=1)
+        assert view.memory.shape == (4,)
+        assert view.effective_memory(2) == 0.0
+
+    def test_effective_memory_composition(self):
+        view = SystemView(nprocs=3, owner=0)
+        view.set_memory(1, 100)
+        view.set_subtree_peak(1, 50)
+        view.set_predicted_master(1, 25)
+        assert view.instantaneous_memory(1) == 100
+        assert view.effective_memory(1) == 175
+        assert view.effective_memory(1, with_predictions=False) == 100
+
+    def test_add_memory_clamped(self):
+        view = SystemView(nprocs=2, owner=0)
+        view.add_memory(1, -50)
+        assert view.memory[1] == 0.0
+        view.add_memory(1, 30)
+        assert view.memory[1] == 30.0
+
+    def test_negative_values_clamped(self):
+        view = SystemView(nprocs=2, owner=0)
+        view.set_load(1, -5)
+        view.set_subtree_peak(1, -5)
+        view.set_predicted_master(1, -5)
+        assert view.load[1] == 0.0
+        assert view.subtree_peak[1] == 0.0
+        assert view.predicted_master[1] == 0.0
+
+    def test_snapshot_copies(self):
+        view = SystemView(nprocs=2, owner=0)
+        snap = view.snapshot()
+        snap["memory"][0] = 999
+        assert view.memory[0] == 0.0
+
+
+class TestTasksAndProcessorState:
+    def test_task_subtree_flag(self):
+        t = Task(kind=TaskKind.TYPE1, node=3, proc=0, flops=10, memory_cost=5, in_subtree=2)
+        assert t.is_subtree_task
+        t2 = Task(kind=TaskKind.TYPE2_MASTER, node=3, proc=0, flops=10, memory_cost=5)
+        assert not t2.is_subtree_task
+
+    def test_processor_pool_stack_semantics(self):
+        p = ProcessorState(proc=0, nprocs=2)
+        a = Task(kind=TaskKind.TYPE1, node=0, proc=0, flops=1, memory_cost=1)
+        b = Task(kind=TaskKind.TYPE1, node=1, proc=0, flops=1, memory_cost=1)
+        p.push_ready_task(a)
+        p.push_ready_task(b)
+        assert p.has_work()
+        assert p.pop_task(len(p.pool) - 1) is b
+        assert p.pop_task(0) is a
+        assert not p.has_work()
+
+    def test_local_memory_for_decisions(self):
+        p = ProcessorState(proc=0, nprocs=2)
+        p.memory.allocate_stack(100, 0.0)
+        assert p.local_memory_for_decisions() == pytest.approx(100)
+        p.current_subtree = 5
+        p.current_subtree_peak = 40
+        assert p.local_memory_for_decisions() == pytest.approx(140)
+
+    def test_observed_peak(self):
+        p = ProcessorState(proc=0, nprocs=2)
+        p.memory.allocate_stack(10, 0.0)
+        p.note_observed_peak()
+        p.memory.free_stack(10, 1.0)
+        p.note_observed_peak()
+        assert p.observed_peak == pytest.approx(10)
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.nprocs == 32
+        assert cfg.effective_max_slaves() == 31
+
+    def test_max_slaves_bound(self):
+        cfg = SimulationConfig(nprocs=8, max_slaves_per_node=4)
+        assert cfg.effective_max_slaves() == 4
+        cfg2 = SimulationConfig(nprocs=8, max_slaves_per_node=100)
+        assert cfg2.effective_max_slaves() == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(nprocs=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(flop_rate=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(latency=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(min_rows_per_slave=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_slaves_per_node=-1)

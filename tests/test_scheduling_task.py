@@ -1,0 +1,137 @@
+"""Unit tests for the task-selection strategies (LIFO, FIFO, Algorithm 2)."""
+
+import pytest
+
+from repro.runtime.tasks import Task, TaskKind
+from repro.scheduling import (
+    FifoTaskSelector,
+    LifoTaskSelector,
+    MemoryAwareTaskSelector,
+    TaskSelectionContext,
+    get_strategy,
+)
+
+
+def task(node, memory_cost, in_subtree=-1, kind=TaskKind.TYPE1):
+    return Task(kind=kind, node=node, proc=0, flops=1.0, memory_cost=memory_cost, in_subtree=in_subtree)
+
+
+def ctx(pool, *, current_memory=0.0, current_subtree=-1, subtree_peak=0.0, observed_peak=0.0):
+    return TaskSelectionContext(
+        proc=0,
+        pool=pool,
+        current_memory=current_memory,
+        current_subtree=current_subtree,
+        current_subtree_peak=subtree_peak,
+        observed_peak=observed_peak,
+    )
+
+
+class TestLifoFifo:
+    def test_lifo_takes_top(self):
+        pool = [task(1, 10), task(2, 10), task(3, 10)]
+        assert LifoTaskSelector().select(ctx(pool)) == 2
+
+    def test_fifo_takes_bottom(self):
+        pool = [task(1, 10), task(2, 10)]
+        assert FifoTaskSelector().select(ctx(pool)) == 0
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            LifoTaskSelector().select(ctx([]))
+        with pytest.raises(ValueError):
+            FifoTaskSelector().select(ctx([]))
+        with pytest.raises(ValueError):
+            MemoryAwareTaskSelector().select(ctx([]))
+
+
+class TestAlgorithm2:
+    def test_subtree_top_always_taken(self):
+        """Rule 1: the top of the pool belongs to the current subtree."""
+        pool = [task(1, 10**9, in_subtree=-1), task(2, 10**9, in_subtree=7)]
+        choice = MemoryAwareTaskSelector().select(
+            ctx(pool, current_subtree=7, subtree_peak=100, observed_peak=1)
+        )
+        assert choice == 1
+
+    def test_large_upper_task_taken_when_it_fits(self):
+        """Rule 2: an upper-layer task is taken if it does not raise the peak."""
+        pool = [task(1, 50), task(2, 100)]
+        choice = MemoryAwareTaskSelector().select(
+            ctx(pool, current_memory=10, observed_peak=1000)
+        )
+        assert choice == 1  # LIFO behaviour preserved when memory is comfortable
+
+    def test_large_upper_task_delayed(self):
+        """The Figure 8 situation: the big type-2 node is delayed, a subtree task is taken."""
+        pool = [
+            task(1, 500, in_subtree=3),
+            task(2, 50_000, in_subtree=-1, kind=TaskKind.TYPE2_MASTER),
+        ]
+        choice = MemoryAwareTaskSelector().select(
+            ctx(pool, current_memory=8000, current_subtree=3, subtree_peak=6000, observed_peak=20_000)
+        )
+        assert pool[choice].node == 1
+
+    def test_scan_skips_to_fitting_task(self):
+        pool = [task(1, 10), task(2, 10**6), task(3, 10**6)]
+        choice = MemoryAwareTaskSelector().select(
+            ctx(pool, current_memory=0, observed_peak=100)
+        )
+        assert pool[choice].node == 1
+
+    def test_fallback_to_top_when_nothing_fits(self):
+        pool = [task(1, 10**6), task(2, 10**6)]
+        choice = MemoryAwareTaskSelector().select(ctx(pool, current_memory=0, observed_peak=10))
+        assert choice == len(pool) - 1
+
+    def test_subtree_task_taken_during_scan(self):
+        # nothing fits under the peak, but a subtree task is encountered first
+        pool = [task(1, 10**6, in_subtree=-1), task(2, 10**6, in_subtree=4), task(3, 10**6, in_subtree=-1)]
+        choice = MemoryAwareTaskSelector().select(ctx(pool, current_memory=0, observed_peak=10))
+        assert pool[choice].node == 2
+
+    def test_subtree_peak_counts_towards_current_memory(self):
+        pool = [task(1, 100, in_subtree=-1)]
+        # without the subtree peak the task fits (100 + 50 <= 200); with the
+        # peak it does not (100 + 50 + 500 > 200) and falls back to the top
+        fits = MemoryAwareTaskSelector().select(
+            ctx(pool, current_memory=50, observed_peak=200)
+        )
+        assert fits == 0
+        still_top = MemoryAwareTaskSelector().select(
+            ctx(pool, current_memory=50, current_subtree=9, subtree_peak=500, observed_peak=200)
+        )
+        assert still_top == 0  # fallback is also index 0 here (single entry)
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        from repro.scheduling import STRATEGIES
+
+        for name in STRATEGIES:
+            slave, task_sel = get_strategy(name).build()
+            assert hasattr(slave, "select")
+            assert hasattr(task_sel, "select")
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(ValueError):
+            get_strategy("does-not-exist")
+
+    def test_get_strategy_case_insensitive(self):
+        assert get_strategy("MEMORY-FULL").name == "memory-full"
+
+    def test_baseline_is_lifo_workload(self):
+        slave, task_sel = get_strategy("mumps-workload").build()
+        assert isinstance(task_sel, LifoTaskSelector)
+        assert type(slave).__name__ == "WorkloadSlaveSelector"
+
+    def test_memory_full_is_algorithm_1_plus_2(self):
+        slave, task_sel = get_strategy("memory-full").build()
+        assert isinstance(task_sel, MemoryAwareTaskSelector)
+        assert type(slave).__name__ == "MemorySlaveSelector"
+        assert slave.use_predictions is True
+
+    def test_memory_basic_has_no_predictions(self):
+        slave, _ = get_strategy("memory-basic").build()
+        assert slave.use_predictions is False

@@ -1,0 +1,145 @@
+"""Tests for the static splitting of large type-2 masters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import compute_ordering
+from repro.symbolic import AssemblyTree, build_assembly_tree, split_large_masters
+from repro.symbolic.splitting import chain_pivot_counts
+
+
+class TestChainPivotCounts:
+    def test_no_split_needed(self):
+        assert chain_pivot_counts(4, 10, 10_000, False) == [4]
+
+    def test_counts_sum_to_npiv(self):
+        counts = chain_pivot_counts(50, 120, 800, False)
+        assert sum(counts) == 50
+        assert all(c >= 1 for c in counts)
+
+    def test_each_piece_respects_threshold(self):
+        npiv, nfront, threshold = 60, 150, 2000
+        counts = chain_pivot_counts(npiv, nfront, threshold, False)
+        nf = nfront
+        for c in counts:
+            assert c * nf <= threshold or c == 1
+            nf -= c
+
+    def test_symmetric_threshold(self):
+        counts = chain_pivot_counts(40, 100, 300, True)
+        assert sum(counts) == 40
+        nf = 100
+        for c in counts:
+            assert c * (c + 1) // 2 <= 300 or c == 1
+            nf -= c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain_pivot_counts(3, 10, 0, False)
+        with pytest.raises(ValueError):
+            chain_pivot_counts(0, 10, 100, False)
+        with pytest.raises(ValueError):
+            chain_pivot_counts(11, 10, 100, False)
+
+
+class TestSplitLargeMasters:
+    def _big_tree(self):
+        # unsymmetric tree with one huge node (npiv 60, front 100) and a small child
+        return AssemblyTree(
+            [5, 60, 4],
+            [20, 100, 44],
+            [1, 2, -1],
+            symmetric=False,
+            nvars=69,
+            variables=[tuple(range(5)), tuple(range(5, 65)), tuple(range(65, 69))],
+        )
+
+    def test_split_reduces_master_size(self):
+        tree = self._big_tree()
+        new, report = split_large_masters(tree, 1500)
+        assert report.nodes_split >= 1
+        assert report.largest_master_after <= 1500
+        assert report.largest_master_before > 1500
+
+    def test_split_preserves_factor_entries(self):
+        tree = self._big_tree()
+        new, _ = split_large_masters(tree, 1500)
+        assert new.total_factor_entries() == tree.total_factor_entries()
+
+    def test_split_preserves_pivot_count_and_variables(self):
+        tree = self._big_tree()
+        new, _ = split_large_masters(tree, 1500)
+        assert new.npiv.sum() == tree.npiv.sum()
+        assert new.variables is not None
+        assert sorted(v for vs in new.variables for v in vs) == list(range(69))
+
+    def test_split_preserves_root_cb(self):
+        tree = self._big_tree()
+        new, _ = split_large_masters(tree, 1500)
+        assert sum(new.cb_entries(r) for r in new.roots) == sum(tree.cb_entries(r) for r in tree.roots)
+
+    def test_split_tree_is_valid(self):
+        tree = self._big_tree()
+        new, _ = split_large_masters(tree, 1500)
+        new.validate()
+
+    def test_chain_structure(self):
+        tree = AssemblyTree([40], [50], [-1], symmetric=False, nvars=40)
+        new, report = split_large_masters(tree, 500)
+        assert report.pieces_created >= 1
+        # the chain pieces each have exactly one child except the bottom one
+        child_counts = [len(new.children(i)) for i in range(new.nnodes)]
+        assert sorted(child_counts) == [0] + [1] * (new.nnodes - 1)
+
+    def test_no_split_below_threshold(self, medium_tree):
+        new, report = split_large_masters(medium_tree, 10**9)
+        assert report.nodes_split == 0
+        assert new.nnodes == medium_tree.nnodes
+
+    def test_only_candidates_filter(self):
+        tree = self._big_tree()
+        new, report = split_large_masters(tree, 1500, only_candidates=set())
+        assert report.nodes_split == 0
+
+    def test_report_flags(self):
+        tree = self._big_tree()
+        _, report = split_large_masters(tree, 1500)
+        assert report.any_split
+        assert report.nodes_after == report.nodes_before + report.pieces_created
+
+    def test_split_on_real_tree_preserves_everything(self, unsym_pattern):
+        tree = build_assembly_tree(unsym_pattern, compute_ordering(unsym_pattern, "amd"))
+        threshold = max(int(max(tree.master_entries(i) for i in range(tree.nnodes)) // 3), 10)
+        new, report = split_large_masters(tree, threshold)
+        assert new.total_factor_entries() == tree.total_factor_entries()
+        assert new.npiv.sum() == tree.npiv.sum()
+        new.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    npiv=st.integers(min_value=1, max_value=80),
+    extra=st.integers(min_value=0, max_value=60),
+    threshold=st.integers(min_value=10, max_value=3000),
+    sym=st.booleans(),
+)
+def test_property_chain_counts_partition_pivots(npiv, extra, threshold, sym):
+    counts = chain_pivot_counts(npiv, npiv + extra, threshold, sym)
+    assert sum(counts) == npiv
+    assert all(c >= 1 for c in counts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    npiv=st.integers(min_value=2, max_value=60),
+    extra=st.integers(min_value=0, max_value=40),
+    threshold=st.integers(min_value=50, max_value=2000),
+)
+def test_property_split_conserves_factors(npiv, extra, threshold):
+    tree = AssemblyTree([npiv], [npiv + extra], [-1], symmetric=False, nvars=npiv)
+    new, _ = split_large_masters(tree, threshold)
+    assert new.total_factor_entries() == tree.total_factor_entries()
+    assert new.npiv.sum() == npiv
+    new.validate()

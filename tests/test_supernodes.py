@@ -1,0 +1,142 @@
+"""Tests for fundamental supernodes and relaxed amalgamation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import banded_pattern, grid_2d
+from repro.symbolic import column_counts, elimination_tree, postorder
+from repro.symbolic.supernodes import Supernode, amalgamate, fundamental_supernodes
+
+
+def _postordered_inputs(pattern):
+    sym = pattern.symmetrized().with_diagonal()
+    parent = elimination_tree(sym)
+    post = postorder(parent)
+    sym_post = sym.permuted(post)
+    parent_post = elimination_tree(sym_post)
+    counts = column_counts(sym_post, parent_post)
+    return parent_post, counts
+
+
+class TestFundamentalSupernodes:
+    def test_band_matrix_single_supernode_chain(self):
+        # tridiagonal: every column has count 2 except the last; columns chain
+        parent, counts = _postordered_inputs(banded_pattern(8, bandwidth=1))
+        membership, sns = fundamental_supernodes(parent, counts)
+        # the whole matrix collapses into one fundamental supernode (dense band)
+        assert len(sns) >= 1
+        assert membership.shape == (8,)
+        assert sorted(c for sn in sns for c in sn.columns) == list(range(8))
+
+    def test_columns_partition(self):
+        parent, counts = _postordered_inputs(grid_2d(6, 6))
+        membership, sns = fundamental_supernodes(parent, counts)
+        all_cols = sorted(c for sn in sns for c in sn.columns)
+        assert all_cols == list(range(36))
+
+    def test_membership_consistent(self):
+        parent, counts = _postordered_inputs(grid_2d(5, 5))
+        membership, sns = fundamental_supernodes(parent, counts)
+        for s, sn in enumerate(sns):
+            for c in sn.columns:
+                assert membership[c] == s
+
+    def test_supernode_front_geometry(self):
+        parent, counts = _postordered_inputs(grid_2d(5, 5))
+        _, sns = fundamental_supernodes(parent, counts)
+        for sn in sns:
+            assert sn.nfront >= sn.npiv >= 1
+            assert sn.cb_order == sn.nfront - sn.npiv
+
+    def test_parents_are_later_supernodes(self):
+        parent, counts = _postordered_inputs(grid_2d(6, 4))
+        _, sns = fundamental_supernodes(parent, counts)
+        for s, sn in enumerate(sns):
+            assert sn.parent == -1 or sn.parent > s
+
+    def test_rejects_non_postordered(self):
+        parent = np.array([-1, 0])  # parent[1] = 0 < 1
+        with pytest.raises(ValueError):
+            fundamental_supernodes(parent, np.array([2, 1]))
+
+    def test_empty(self):
+        membership, sns = fundamental_supernodes(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert len(sns) == 0 and membership.size == 0
+
+
+class TestAmalgamation:
+    def _chain(self, k=6, npiv=1, cb=3):
+        """A chain of k supernodes, each with `npiv` pivots and cb rows of CB."""
+        sns = []
+        for i in range(k):
+            sns.append(Supernode(columns=[i], nfront=npiv + cb, parent=(i + 1 if i + 1 < k else -1)))
+        return sns
+
+    def test_tiny_children_are_merged(self):
+        sns = self._chain()
+        merged, old_to_new = amalgamate(sns, min_pivots=4, relax=0.0)
+        assert len(merged) < len(sns)
+        assert old_to_new.shape == (len(sns),)
+        assert all(0 <= int(x) < len(merged) for x in old_to_new)
+
+    def test_zero_relax_keeps_fill_introducing_merge(self):
+        # the child CB (15 rows) is strictly smaller than the parent front
+        # (20), so merging would introduce zeros: forbidden at relax=0
+        sns = [
+            Supernode(columns=list(range(0, 10)), nfront=25, parent=1),
+            Supernode(columns=list(range(10, 25)), nfront=20, parent=-1),
+        ]
+        merged, _ = amalgamate(sns, min_pivots=1, relax=0.0)
+        assert len(merged) == 2
+
+    def test_zero_relax_allows_fill_free_merge(self):
+        # the child CB covers the whole parent front: merging costs nothing
+        sns = [
+            Supernode(columns=list(range(0, 10)), nfront=30, parent=1),
+            Supernode(columns=list(range(10, 25)), nfront=20, parent=-1),
+        ]
+        merged, _ = amalgamate(sns, min_pivots=1, relax=0.0)
+        assert len(merged) == 1
+
+    def test_full_relax_collapses_chain(self):
+        sns = self._chain(k=5)
+        merged, _ = amalgamate(sns, min_pivots=1, relax=10.0)
+        assert len(merged) == 1
+        assert merged[0].npiv == 5
+
+    def test_pivots_conserved(self):
+        sns = self._chain(k=7)
+        merged, _ = amalgamate(sns, min_pivots=3, relax=0.1)
+        assert sum(sn.npiv for sn in merged) == 7
+        assert sorted(c for sn in merged for c in sn.columns) == list(range(7))
+
+    def test_max_front_forbids_merge(self):
+        sns = self._chain(k=4, npiv=2, cb=4)
+        merged, _ = amalgamate(sns, min_pivots=8, relax=10.0, max_front=6)
+        # merging would push fronts beyond 6, so nothing merges
+        assert len(merged) == 4
+
+    def test_merged_front_arithmetic(self):
+        # child (npiv=2, front=6) merged into parent (npiv=3, front=4):
+        # merged front must be parent front + child npiv = 6
+        sns = [
+            Supernode(columns=[0, 1], nfront=6, parent=1),
+            Supernode(columns=[2, 3, 4], nfront=4, parent=-1),
+        ]
+        merged, _ = amalgamate(sns, min_pivots=3, relax=10.0)
+        assert len(merged) == 1
+        assert merged[0].nfront == 6
+        assert merged[0].npiv == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            amalgamate([], min_pivots=0)
+        with pytest.raises(ValueError):
+            amalgamate([], relax=-1)
+
+    def test_postorder_preserved(self):
+        parent, counts = _postordered_inputs(grid_2d(6, 6))
+        _, sns = fundamental_supernodes(parent, counts)
+        merged, _ = amalgamate(sns)
+        for s, sn in enumerate(merged):
+            assert sn.parent == -1 or sn.parent > s
