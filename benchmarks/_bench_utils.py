@@ -19,6 +19,8 @@ BENCH_CACHE = os.environ.get(
     "REPRO_BENCH_CACHE",
     os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), ".repro_cache"),
 )
+#: worker processes used by the shared runner's sweeps (1 = serial)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

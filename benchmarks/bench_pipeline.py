@@ -1,0 +1,102 @@
+"""Benchmark: parallel sweep executor vs. the serial path on a Table-2 grid.
+
+Runs the full Table-2-sized case grid (8 problems × 4 orderings × 2
+strategies = 64 cases) twice from a cold start — once serially in-process,
+once through :class:`~repro.pipeline.SweepExecutor` with
+``REPRO_BENCH_PIPELINE_JOBS`` worker processes (default 4) — and
+
+* asserts the two result lists are *identical*, field by field (the
+  executor's ordering guarantee: parallel is a drop-in for serial);
+* records the wall-clock comparison (serial seconds, parallel seconds,
+  speedup) in the printed summary and in the pytest-benchmark ``extra_info``.
+
+The speedup assertion only arms on machines with at least 4 CPUs — a
+process pool cannot beat the serial path on the single-core containers CI
+sometimes hands out — and can be disarmed explicitly with
+``REPRO_BENCH_NO_SPEEDUP_CHECK=1``.
+
+Both runs deliberately bypass the shared on-disk cache: the point is to
+measure the executor, not the cache.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _bench_utils import BENCH_NPROCS, BENCH_SCALE, run_once
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.problems import PROBLEMS
+from repro.experiments.runner import ORDERING_NAMES
+from repro.pipeline import CaseSpec
+
+PIPELINE_JOBS = int(os.environ.get("REPRO_BENCH_PIPELINE_JOBS", "4"))
+
+#: the Table-2 grid: every problem × every ordering × {baseline, memory}
+GRID = [
+    CaseSpec(problem, ordering, strategy)
+    for problem in PROBLEMS
+    for ordering in ORDERING_NAMES
+    for strategy in ("mumps-workload", "memory-full")
+]
+
+
+def _assert_identical(serial, parallel):
+    assert len(serial) == len(parallel) == len(GRID)
+    for a, b in zip(serial, parallel):
+        assert (a.problem, a.ordering, a.strategy, a.split) == (
+            b.problem,
+            b.ordering,
+            b.strategy,
+            b.split,
+        )
+        assert a.max_peak_stack == b.max_peak_stack
+        assert a.avg_peak_stack == b.avg_peak_stack
+        assert a.sum_peak_stack == b.sum_peak_stack
+        assert a.total_time == b.total_time
+        assert a.total_factor_entries == b.total_factor_entries
+        assert np.array_equal(a.per_proc_peak_stack, b.per_proc_peak_stack)
+        assert (a.nodes, a.nodes_split, a.messages) == (b.nodes, b.nodes_split, b.messages)
+
+
+def test_parallel_sweep_matches_serial(benchmark):
+    # cache_dir="" (not None) pins the disk tier off even when REPRO_CACHE_DIR
+    # is exported — both paths must start genuinely cold
+    start = time.perf_counter()
+    serial = ExperimentRunner(nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir="").run_cases(GRID)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_once(
+        benchmark,
+        lambda: ExperimentRunner(
+            nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir="", jobs=PIPELINE_JOBS
+        ).run_cases(GRID),
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    _assert_identical(serial, parallel)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    benchmark.extra_info.update(
+        cases=len(GRID),
+        jobs=PIPELINE_JOBS,
+        serial_seconds=round(serial_seconds, 2),
+        parallel_seconds=round(parallel_seconds, 2),
+        speedup=round(speedup, 2),
+        cpus=os.cpu_count(),
+    )
+    print()
+    print(
+        f"PIPELINE SWEEP — {len(GRID)} cases, nprocs={BENCH_NPROCS}, scale={BENCH_SCALE}\n"
+        f"  serial   : {serial_seconds:8.2f}s\n"
+        f"  {PIPELINE_JOBS} workers: {parallel_seconds:8.2f}s  (speedup {speedup:.2f}x on {os.cpu_count()} CPUs)"
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP_CHECK"):
+        assert parallel_seconds < serial_seconds, (
+            f"parallel sweep ({parallel_seconds:.2f}s with {PIPELINE_JOBS} workers) "
+            f"should beat the serial path ({serial_seconds:.2f}s) on {cpus} CPUs"
+        )

@@ -15,13 +15,16 @@ Environment knobs (all optional):
     Problem scale factor (default 0.6; 1.0 gives the largest analogues).
 ``REPRO_BENCH_CACHE``
     Analysis cache directory (default ``.repro_cache`` inside the repo).
+``REPRO_BENCH_JOBS``
+    Worker processes for the table sweeps (default 1 = serial; the pipeline
+    engine shares analysis artifacts between workers through the cache).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _bench_utils import BENCH_CACHE, BENCH_NPROCS, BENCH_SCALE  # noqa: F401  (re-exported)
+from _bench_utils import BENCH_CACHE, BENCH_JOBS, BENCH_NPROCS, BENCH_SCALE  # noqa: F401  (re-exported)
 
 from repro.experiments import ExperimentRunner
 
@@ -29,4 +32,6 @@ from repro.experiments import ExperimentRunner
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """The shared experiment runner used by every table benchmark."""
-    return ExperimentRunner(nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir=BENCH_CACHE)
+    return ExperimentRunner(
+        nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir=BENCH_CACHE, jobs=BENCH_JOBS
+    )

@@ -19,14 +19,42 @@ offline:
 * the static mapping and a discrete-event simulator of the asynchronous
   parallel factorization (:mod:`repro.mapping`, :mod:`repro.runtime`);
 * the scheduling strategies themselves (:mod:`repro.scheduling`);
+* the staged pipeline engine — six content-addressed stages
+  (pattern → ordering → tree → split → mapping → simulate), a tiered
+  memory/disk artifact store and a process-pool sweep executor
+  (:mod:`repro.pipeline`, see ``docs/pipeline.md``);
 * the experiment harness regenerating every table and figure of the paper
-  (:mod:`repro.experiments`).
+  on top of that engine (:mod:`repro.experiments`).
 
 Quickstart
 ----------
->>> from repro import quick_compare
->>> quick_compare("XENON2", "metis", nprocs=8, scale=0.4)   # doctest: +SKIP
-{'baseline_peak': ..., 'candidate_peak': ..., 'gain_percent': ...}
+Compare the paper's memory-based strategy against the MUMPS baseline on one
+case (the one-call façade)::
+
+    >>> from repro import quick_compare
+    >>> quick_compare("XENON2", "metis", nprocs=8, scale=0.4)   # doctest: +SKIP
+    {'baseline_peak': ..., 'candidate_peak': ..., 'gain_percent': ...}
+
+Sweep a grid of cases across four worker processes, sharing every analysis
+artifact through an on-disk store::
+
+    >>> from repro.experiments import ExperimentRunner
+    >>> runner = ExperimentRunner(nprocs=32, scale=0.6, cache_dir=".repro_cache", jobs=4)
+    >>> results = runner.sweep(                                 # doctest: +SKIP
+    ...     ["XENON2", "PRE2"], ["metis", "amd"], ["mumps-workload", "memory-full"]
+    ... )
+
+Or drive the engine directly with explicit case specs::
+
+    >>> from repro.pipeline import AnalysisPipeline, CaseSpec
+    >>> engine = AnalysisPipeline(nprocs=8, scale=0.4)
+    >>> engine.run_case(CaseSpec("XENON2", "metis", "memory-full"))  # doctest: +SKIP
+    CaseResult(problem='XENON2', ...)
+
+The same sweeps are available from the command line::
+
+    python -m repro table2 --jobs 4 --nprocs 32 --scale 1.0
+    python -m repro sweep --problems XENON2 --strategies memory-full --jobs 4
 """
 
 from __future__ import annotations

@@ -6,9 +6,16 @@ Regenerate Table 2 on 8 simulated processors at reduced scale::
 
     python -m repro table2 --nprocs 8 --scale 0.4
 
-Regenerate every table and figure (the full evaluation)::
+Regenerate every table and figure (the full evaluation), four analysis
+workers in parallel with per-case progress on stderr::
 
-    python -m repro all --nprocs 32 --scale 1.0 --cache .repro_cache
+    python -m repro all --nprocs 32 --scale 1.0 --cache .repro_cache --jobs 4
+
+Run an explicit sweep (cartesian product of problems × orderings ×
+strategies) and print one row per case::
+
+    python -m repro sweep --problems XENON2,PRE2 --orderings metis,amd \\
+        --strategies mumps-workload,memory-full --jobs 4
 
 List the available problems, orderings and strategies::
 
@@ -24,7 +31,9 @@ import time
 from repro.experiments import ExperimentRunner, PROBLEMS
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
+from repro.experiments.runner import ORDERING_NAMES
 from repro.ordering import ORDERINGS
+from repro.pipeline import ProgressEvent
 from repro.scheduling import STRATEGIES
 
 __all__ = ["main", "build_parser"]
@@ -35,15 +44,32 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Memory-based scheduling for a parallel multifrontal solver'",
     )
-    parser.add_argument("target", help="table1..table6, figure1..figure8, 'all', 'tables', 'figures' or 'list'")
+    parser.add_argument(
+        "target",
+        help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep' or 'list'",
+    )
     parser.add_argument("--nprocs", type=int, default=32, help="number of simulated processors (paper: 32)")
     parser.add_argument("--scale", type=float, default=1.0, help="problem scale factor (1.0 = full analogue size)")
-    parser.add_argument("--cache", default="", help="directory for the analysis cache (optional)")
+    parser.add_argument("--cache", default="", help="directory for the artifact cache (optional)")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for sweeps/tables (1 = serial; cases sharing an analysis are grouped per worker)",
+    )
     parser.add_argument(
         "--problems", default="", help="comma-separated subset of problems (default: the table's own set)"
     )
     parser.add_argument(
         "--orderings", default="", help="comma-separated subset of orderings (default: metis,pord,amd,amf)"
+    )
+    parser.add_argument(
+        "--strategies", default="",
+        help="comma-separated strategies for the 'sweep' target (default: mumps-workload,memory-full)",
+    )
+    parser.add_argument(
+        "--split", action="store_true", help="apply static splitting of large masters ('sweep' target)"
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true", help="disable the per-case progress lines on stderr"
     )
     return parser
 
@@ -56,6 +82,14 @@ def _print_listing() -> None:
     print("strategies:")
     for name, strategy in STRATEGIES.items():
         print(f"  {name:15s} {strategy.description}")
+
+
+def _progress_printer(event: ProgressEvent) -> None:
+    print(
+        f"  [{event.done}/{event.total}] {event.spec.label()} ({event.seconds:.2f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _run_tables(runner: ExperimentRunner, names: list[str], problems, orderings) -> None:
@@ -81,10 +115,32 @@ def _run_figures(names: list[str]) -> None:
         print(data.get("ascii", repr(data)))
 
 
+def _run_sweep(runner: ExperimentRunner, problems, orderings, strategies, *, split: bool) -> None:
+    problems = problems or list(PROBLEMS)
+    orderings = orderings or list(ORDERING_NAMES)
+    strategies = strategies or ["mumps-workload", "memory-full"]
+    start = time.time()
+    results = runner.sweep(problems, orderings, strategies, split=split)
+    print()
+    print(f"=== SWEEP ({len(results)} cases in {time.time() - start:.1f}s) ===")
+    header = f"{'problem':12s} {'ordering':8s} {'strategy':15s} {'split':5s} {'max peak':>12s} {'time':>10s} {'messages':>9s}"
+    print(header)
+    print("-" * len(header))
+    for case in results:
+        print(
+            f"{case.problem:12s} {case.ordering:8s} {case.strategy:15s} "
+            f"{'yes' if case.split else 'no':5s} {case.max_peak_stack:12,.0f} "
+            f"{case.total_time:10.4f} {case.messages:9d}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     target = args.target.lower()
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if target == "list":
         _print_listing()
@@ -92,12 +148,22 @@ def main(argv: list[str] | None = None) -> int:
 
     problems = [p.strip().upper() for p in args.problems.split(",") if p.strip()] or None
     orderings = [o.strip().lower() for o in args.orderings.split(",") if o.strip()] or None
+    strategies = [s.strip().lower() for s in args.strategies.split(",") if s.strip()] or None
+    for value, known, flag in (
+        (problems, PROBLEMS, "--problems"),
+        (orderings, ORDERINGS, "--orderings"),
+        (strategies, STRATEGIES, "--strategies"),
+    ):
+        for name in value or []:
+            if name not in known:
+                parser.error(f"unknown {flag} value {name!r}; expected one of {', '.join(sorted(known))}")
 
     table_names = [t for t in tables_mod.ALL_TABLES]
     figure_names = [f for f in figures_mod.ALL_FIGURES]
 
     wanted_tables: list[str] = []
     wanted_figures: list[str] = []
+    wanted_sweep = False
     if target == "all":
         wanted_tables = table_names
         wanted_figures = figure_names
@@ -105,6 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         wanted_tables = table_names
     elif target == "figures":
         wanted_figures = figure_names
+    elif target == "sweep":
+        wanted_sweep = True
     elif target in tables_mod.ALL_TABLES:
         wanted_tables = [target]
     elif target in figures_mod.ALL_FIGURES:
@@ -112,9 +180,18 @@ def main(argv: list[str] | None = None) -> int:
     else:
         parser.error(f"unknown target {args.target!r}")
 
-    if wanted_tables:
-        runner = ExperimentRunner(nprocs=args.nprocs, scale=args.scale, cache_dir=args.cache or None)
-        _run_tables(runner, wanted_tables, problems, orderings)
+    if wanted_tables or wanted_sweep:
+        runner = ExperimentRunner(
+            nprocs=args.nprocs,
+            scale=args.scale,
+            cache_dir=args.cache or None,
+            jobs=args.jobs,
+            progress=None if args.no_progress else _progress_printer,
+        )
+        if wanted_tables:
+            _run_tables(runner, wanted_tables, problems, orderings)
+        if wanted_sweep:
+            _run_sweep(runner, problems, orderings, strategies, split=args.split)
     if wanted_figures:
         _run_figures(wanted_figures)
     return 0

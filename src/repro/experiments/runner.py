@@ -1,87 +1,43 @@
 """Experiment runner: (problem × ordering × splitting × strategy) → metrics.
 
-The analysis phase (generation, ordering, symbolic factorization, splitting,
-static mapping) is by far the most expensive part of a case, and it is shared
-by every strategy being compared, so the runner caches it aggressively — in
-memory and optionally on disk — keyed by the parameters that influence it.
-The simulation phase is cheap and is re-run for every strategy.
+This module is a thin, backwards-compatible façade over the staged pipeline
+engine (:mod:`repro.pipeline`).  The engine owns the stage chain and the
+content-addressed artifact store; the runner translates the historical
+call-style (``run_case("XENON2", "metis", "memory-full")``) into
+:class:`~repro.pipeline.CaseSpec` values and adds the sweep entry points the
+tables and the CLI are built on, including parallel execution via
+:class:`~repro.pipeline.SweepExecutor` (``jobs > 1``).
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.problems import PROBLEMS, ProblemSpec, get_problem
-from repro.mapping import StaticMapping, compute_mapping
-from repro.ordering import compute_ordering
-from repro.runtime import FactorizationSimulator, SimulationConfig, SimulationResult
-from repro.scheduling import get_strategy
-from repro.symbolic import AssemblyTree, build_assembly_tree, split_large_masters
+from repro.pipeline import (
+    AnalysisPipeline,
+    AnalysisProducts,
+    CaseResult,
+    CaseSpec,
+    ProgressEvent,
+    SweepExecutor,
+)
+from repro.runtime import SimulationConfig
 
-__all__ = ["ExperimentRunner", "CaseResult", "AnalysisProducts", "ORDERING_NAMES"]
+__all__ = [
+    "ExperimentRunner",
+    "CaseResult",
+    "CaseSpec",
+    "AnalysisProducts",
+    "ORDERING_NAMES",
+    "percentage_decrease",
+]
 
 #: The four reordering techniques of the paper's tables, in column order.
 ORDERING_NAMES = ["metis", "pord", "amd", "amf"]
-
-
-@dataclass
-class AnalysisProducts:
-    """Everything produced by the (cached) analysis phase of one case."""
-
-    problem: str
-    ordering: str
-    scale: float
-    split: bool
-    split_threshold: int
-    tree: AssemblyTree
-    mapping: StaticMapping
-    nodes_split: int = 0
-
-
-@dataclass
-class CaseResult:
-    """Outcome of one simulated case."""
-
-    problem: str
-    ordering: str
-    strategy: str
-    split: bool
-    nprocs: int
-    max_peak_stack: float
-    avg_peak_stack: float
-    sum_peak_stack: float
-    total_time: float
-    total_factor_entries: float
-    per_proc_peak_stack: np.ndarray
-    nodes: int
-    nodes_split: int
-    messages: int
-
-    @classmethod
-    def from_simulation(cls, analysis: AnalysisProducts, strategy: str, result: SimulationResult) -> "CaseResult":
-        return cls(
-            problem=analysis.problem,
-            ordering=analysis.ordering,
-            strategy=strategy,
-            split=analysis.split,
-            nprocs=result.nprocs,
-            max_peak_stack=result.max_peak_stack,
-            avg_peak_stack=result.avg_peak_stack,
-            sum_peak_stack=result.sum_peak_stack,
-            total_time=result.total_time,
-            total_factor_entries=result.total_factor_entries,
-            per_proc_peak_stack=result.per_proc_peak_stack,
-            nodes=result.nodes,
-            nodes_split=analysis.nodes_split,
-            messages=int(sum(result.message_counts.values())),
-        )
 
 
 def percentage_decrease(baseline: float, improved: float) -> float:
@@ -109,8 +65,14 @@ class ExperimentRunner:
         Base :class:`SimulationConfig`; ``nprocs`` is overridden by the
         runner's value.
     cache_dir:
-        Directory for the on-disk analysis cache (``None`` disables it).  The
+        Directory for the on-disk artifact store (``None`` disables it).  The
         default honours the ``REPRO_CACHE_DIR`` environment variable.
+    jobs:
+        Default number of worker processes for :meth:`sweep` /
+        :meth:`run_cases` (1 = serial, in-process).
+    progress:
+        Optional per-case progress callback (receives a
+        :class:`~repro.pipeline.ProgressEvent`).
     """
 
     def __init__(
@@ -122,120 +84,58 @@ class ExperimentRunner:
         cache_dir: str | os.PathLike | None = None,
         amalgamation_relax: float = 0.15,
         amalgamation_min_pivots: int = 4,
+        jobs: int = 1,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
-        if config is None:
-            config = SimulationConfig(
-                nprocs=nprocs,
-                type2_front_threshold=96,
-                type2_cb_threshold=24,
-                type3_front_threshold=256,
-            )
-        else:
-            config = SimulationConfig(**{**config.__dict__, "nprocs": nprocs})
-        self.config = config
-        self.nprocs = nprocs
-        self.scale = float(scale)
-        self.amalgamation_relax = amalgamation_relax
-        self.amalgamation_min_pivots = amalgamation_min_pivots
-        if cache_dir is None:
-            cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
-        self.cache_dir: Optional[Path] = Path(cache_dir) if cache_dir else None
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._analysis_cache: dict[tuple, AnalysisProducts] = {}
-        self._ordering_cache: dict[tuple, np.ndarray] = {}
-        self._pattern_cache: dict[str, object] = {}
+        self.engine = AnalysisPipeline(
+            nprocs=nprocs,
+            scale=scale,
+            config=config,
+            cache_dir=cache_dir,
+            amalgamation_relax=amalgamation_relax,
+            amalgamation_min_pivots=amalgamation_min_pivots,
+        )
+        self.jobs = int(jobs)
+        self.progress = progress
+        self._executor: Optional[SweepExecutor] = None
+
+    # -- engine attribute passthroughs (kept for callers of the old API) -- #
+    @property
+    def config(self) -> SimulationConfig:
+        return self.engine.config
+
+    @property
+    def nprocs(self) -> int:
+        return self.engine.nprocs
+
+    @property
+    def scale(self) -> float:
+        return self.engine.scale
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return Path(self.engine.cache_dir) if self.engine.cache_dir else None
+
+    @property
+    def amalgamation_relax(self) -> float:
+        return self.engine.amalgamation_relax
+
+    @property
+    def amalgamation_min_pivots(self) -> int:
+        return self.engine.amalgamation_min_pivots
 
     # ------------------------------------------------------------------ #
     # cached pipeline stages
     # ------------------------------------------------------------------ #
     def pattern(self, problem: str):
-        spec = get_problem(problem)
-        key = spec.name
-        if key not in self._pattern_cache:
-            self._pattern_cache[key] = spec.build(self.scale)
-        return self._pattern_cache[key]
-
-    def _disk_key(self, parts: tuple) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        digest = hashlib.sha256(repr(parts).encode()).hexdigest()[:24]
-        return self.cache_dir / f"analysis-{digest}.pkl"
+        return self.engine.pattern(problem)
 
     def ordering(self, problem: str, ordering: str) -> np.ndarray:
-        key = (problem, ordering, self.scale)
-        if key not in self._ordering_cache:
-            self._ordering_cache[key] = compute_ordering(self.pattern(problem), ordering)
-        return self._ordering_cache[key]
+        return self.engine.ordering(problem, ordering)
 
     def analysis(self, problem: str, ordering: str, *, split: bool) -> AnalysisProducts:
         """Pattern → ordering → assembly tree → (splitting) → static mapping."""
-        spec = get_problem(problem)
-        key = (
-            spec.name,
-            ordering,
-            self.scale,
-            bool(split),
-            spec.split_threshold,
-            self.nprocs,
-            self.amalgamation_relax,
-            self.amalgamation_min_pivots,
-            self.config.type2_front_threshold,
-            self.config.type2_cb_threshold,
-            self.config.type3_front_threshold,
-            self.config.imbalance_tolerance,
-            self.config.min_subtrees_per_proc,
-            self.config.subtree_cost,
-        )
-        if key in self._analysis_cache:
-            return self._analysis_cache[key]
-        disk = self._disk_key(key)
-        if disk is not None and disk.exists():
-            with open(disk, "rb") as fh:
-                products: AnalysisProducts = pickle.load(fh)
-            self._analysis_cache[key] = products
-            return products
-
-        pattern = self.pattern(problem)
-        perm = self.ordering(problem, ordering)
-        tree = build_assembly_tree(
-            pattern,
-            perm,
-            amalgamation_min_pivots=self.amalgamation_min_pivots,
-            amalgamation_relax=self.amalgamation_relax,
-            keep_variables=False,
-            name=f"{spec.name}-{ordering}",
-        )
-        nodes_split = 0
-        if split:
-            threshold = max(int(spec.split_threshold * self.scale), 1_000)
-            tree, report = split_large_masters(tree, threshold)
-            nodes_split = report.nodes_split
-        mapping = compute_mapping(
-            tree,
-            self.nprocs,
-            type2_front_threshold=self.config.type2_front_threshold,
-            type2_cb_threshold=self.config.type2_cb_threshold,
-            type3_front_threshold=self.config.type3_front_threshold,
-            imbalance_tolerance=self.config.imbalance_tolerance,
-            min_subtrees_per_proc=self.config.min_subtrees_per_proc,
-            subtree_cost=self.config.subtree_cost,
-        )
-        products = AnalysisProducts(
-            problem=spec.name,
-            ordering=ordering,
-            scale=self.scale,
-            split=bool(split),
-            split_threshold=spec.split_threshold,
-            tree=tree,
-            mapping=mapping,
-            nodes_split=nodes_split,
-        )
-        self._analysis_cache[key] = products
-        if disk is not None:
-            with open(disk, "wb") as fh:
-                pickle.dump(products, fh)
-        return products
+        return self.engine.analysis(problem, ordering, split=split)
 
     # ------------------------------------------------------------------ #
     # simulation
@@ -250,20 +150,15 @@ class ExperimentRunner:
         track_traces: bool = False,
     ) -> CaseResult:
         """Run one full case and return its metrics."""
-        analysis = self.analysis(problem, ordering, split=split)
-        preset = get_strategy(strategy)
-        slave_selector, task_selector = preset.build()
-        config = SimulationConfig(**{**self.config.__dict__, "track_traces": track_traces})
-        sim = FactorizationSimulator(
-            analysis.tree,
-            config=config,
-            mapping=analysis.mapping,
-            slave_selector=slave_selector,
-            task_selector=task_selector,
-            strategy_name=strategy,
+        return self.engine.run_case(
+            CaseSpec(
+                problem=problem,
+                ordering=ordering,
+                strategy=strategy,
+                split=split,
+                track_traces=track_traces,
+            )
         )
-        result = sim.run()
-        return CaseResult.from_simulation(analysis, strategy, result)
 
     def compare(
         self,
@@ -291,6 +186,31 @@ class ExperimentRunner:
             ),
         }
 
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+    def run_cases(self, specs: Sequence[CaseSpec], *, jobs: int | None = None) -> list[CaseResult]:
+        """Run explicit cases (serially or across a process pool, see ``jobs``).
+
+        Runs at the runner's own job count share one long-lived executor, so
+        consecutive sweeps (e.g. the tables of ``repro all``) reuse the same
+        worker processes and the artifacts they hold; an explicit ``jobs``
+        override gets a transient executor that is torn down afterwards.
+        """
+        jobs = self.jobs if jobs is None else int(jobs)
+        if jobs == self.jobs:
+            if self._executor is None:
+                self._executor = SweepExecutor(self.engine, jobs=jobs, progress=self.progress)
+            return self._executor.run(specs)
+        with SweepExecutor(self.engine, jobs=jobs, progress=self.progress) as executor:
+            return executor.run(specs)
+
+    def close(self) -> None:
+        """Shut down the sweep worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
     def sweep(
         self,
         problems: Iterable[str],
@@ -298,11 +218,18 @@ class ExperimentRunner:
         strategies: Iterable[str],
         *,
         split: bool = False,
+        jobs: int | None = None,
     ) -> list[CaseResult]:
-        """Run the cartesian product of cases and return all results."""
-        out: list[CaseResult] = []
-        for problem in problems:
-            for ordering in orderings:
-                for strategy in strategies:
-                    out.append(self.run_case(problem, ordering, strategy, split=split))
-        return out
+        """Run the cartesian product of cases and return all results.
+
+        Results come back in cartesian-product order (problem-major) whatever
+        the execution order was, so the parallel path is a drop-in for the
+        serial one.
+        """
+        specs = [
+            CaseSpec(problem=problem, ordering=ordering, strategy=strategy, split=split)
+            for problem in problems
+            for ordering in orderings
+            for strategy in strategies
+        ]
+        return self.run_cases(specs, jobs=jobs)

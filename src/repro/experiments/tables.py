@@ -15,6 +15,12 @@ like the paper's rows and columns) and can also render it as plain text with
   original MUMPS strategy without splitting (unsymmetric matrices);
 * **Table 6** — factorization-time loss (%) of the memory-optimised strategy
   for three large problems.
+
+Every table funnels its cases through :meth:`ExperimentRunner.run_cases`, so
+one table is one sweep: with ``jobs > 1`` on the runner the cases spread over
+a process pool (sharing the analysis artifacts per the pipeline engine's
+content-addressed store) and the rows are assembled from the results in
+order — serial and parallel regeneration produce identical tables.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.experiments.problems import PROBLEMS, SYMMETRIC_PROBLEMS, UNSYMMETRIC_PROBLEMS, get_problem
 from repro.experiments.runner import ORDERING_NAMES, ExperimentRunner, percentage_decrease
+from repro.pipeline import CaseResult, CaseSpec
 
 __all__ = [
     "table1",
@@ -62,6 +69,29 @@ def table1(runner: ExperimentRunner, problems: Iterable[str] | None = None) -> d
     return rows
 
 
+def _paired_cases(
+    runner: ExperimentRunner,
+    problems: Sequence[str],
+    orderings: Sequence[str],
+    *,
+    split_baseline: bool,
+    split_candidate: bool,
+) -> dict[tuple[str, str], tuple[CaseResult, CaseResult]]:
+    """(baseline, candidate) results for every (problem, ordering) cell, one sweep."""
+    specs: list[CaseSpec] = []
+    for problem in problems:
+        for ordering in orderings:
+            specs.append(CaseSpec(problem, ordering, BASELINE, split=split_baseline))
+            specs.append(CaseSpec(problem, ordering, MEMORY, split=split_candidate))
+    results = runner.run_cases(specs)
+    pairs: dict[tuple[str, str], tuple[CaseResult, CaseResult]] = {}
+    it = iter(results)
+    for problem in problems:
+        for ordering in orderings:
+            pairs[(problem, ordering)] = (next(it), next(it))
+    return pairs
+
+
 def _gain_table(
     runner: ExperimentRunner,
     problems: Sequence[str],
@@ -70,19 +100,17 @@ def _gain_table(
     split_baseline: bool,
     split_candidate: bool,
 ) -> dict[str, dict[str, float]]:
+    pairs = _paired_cases(
+        runner, problems, orderings, split_baseline=split_baseline, split_candidate=split_candidate
+    )
     rows: dict[str, dict[str, float]] = {}
     for problem in problems:
         row: dict[str, float] = {}
         for ordering in orderings:
-            cmp = runner.compare(
-                problem,
-                ordering,
-                baseline=BASELINE,
-                candidate=MEMORY,
-                split_baseline=split_baseline,
-                split_candidate=split_candidate,
+            base, cand = pairs[(problem, ordering)]
+            row[ordering.upper()] = round(
+                percentage_decrease(base.max_peak_stack, cand.max_peak_stack), 1
             )
-            row[ordering.upper()] = round(cmp["gain_percent"], 1)
         rows[problem] = row
     return rows
 
@@ -111,15 +139,23 @@ def table3(
 
 def table4(runner: ExperimentRunner, cases: Sequence[tuple[str, str]] = tuple(TABLE4_CASES)) -> dict[str, dict[str, float]]:
     """Table 4: absolute max stack peaks (millions of entries) for two cases."""
+    combos = [
+        (strategy, strategy_label, split, split_label)
+        for strategy, strategy_label in ((BASELINE, "MUMPS dynamic"), (MEMORY, "memory-based dynamic"))
+        for split, split_label in ((False, "no splitting"), (True, "splitting"))
+    ]
+    specs = [
+        CaseSpec(problem, ordering, strategy, split=split)
+        for problem, ordering in cases
+        for strategy, _, split, _ in combos
+    ]
+    results = iter(runner.run_cases(specs))
     rows: dict[str, dict[str, float]] = {}
     for problem, ordering in cases:
-        label = f"{problem} - {ordering.upper()}"
         row: dict[str, float] = {}
-        for strategy, strategy_label in ((BASELINE, "MUMPS dynamic"), (MEMORY, "memory-based dynamic")):
-            for split, split_label in ((False, "no splitting"), (True, "splitting")):
-                case = runner.run_case(problem, ordering, strategy, split=split)
-                row[f"{strategy_label} / {split_label}"] = round(case.max_peak_stack / 1e6, 3)
-        rows[label] = row
+        for _, strategy_label, _, split_label in combos:
+            row[f"{strategy_label} / {split_label}"] = round(next(results).max_peak_stack / 1e6, 3)
+        rows[f"{problem} - {ordering.upper()}"] = row
     return rows
 
 
@@ -142,12 +178,14 @@ def table6(
     """Table 6: factorization-time loss (%) of the memory-optimised strategy."""
     if problems is None:
         problems = list(TABLE6_PROBLEMS)
+    pairs = _paired_cases(
+        runner, list(problems), list(orderings), split_baseline=False, split_candidate=True
+    )
     rows: dict[str, dict[str, float]] = {}
     for problem in problems:
         row: dict[str, float] = {}
         for ordering in orderings:
-            base = runner.run_case(problem, ordering, BASELINE, split=False)
-            cand = runner.run_case(problem, ordering, MEMORY, split=True)
+            base, cand = pairs[(problem, ordering)]
             loss = (
                 100.0 * (cand.total_time - base.total_time) / base.total_time
                 if base.total_time > 0

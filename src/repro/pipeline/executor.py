@@ -1,0 +1,172 @@
+"""Parallel sweep execution over independent cases.
+
+A sweep is a list of :class:`~repro.pipeline.stage.CaseSpec`; the executor
+runs them all and returns their :class:`~repro.pipeline.stage.CaseResult` in
+the *input order*, whatever the execution order was — results are therefore
+byte-for-byte identical between the serial and the parallel path.
+
+Parallel scheduling groups the cases by their analysis signature
+(problem, ordering, split): one process-pool task per group, so the expensive
+analysis phase of a group is computed once in the worker that owns it and
+only the small per-case metrics travel back.  Workers are long-lived (one
+engine per process, built from the picklable :class:`PipelineSettings`), so
+artifacts also carry over between the groups a worker happens to receive —
+e.g. the pattern of a problem swept under four orderings — and a shared disk
+tier extends that sharing across workers and across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence
+
+from repro.pipeline.engine import AnalysisPipeline, PipelineSettings
+from repro.pipeline.stage import CaseResult, CaseSpec
+
+__all__ = ["SweepExecutor", "ProgressEvent"]
+
+
+class ProgressEvent:
+    """One completed case, as reported to the progress callback."""
+
+    __slots__ = ("done", "total", "spec", "seconds")
+
+    def __init__(self, done: int, total: int, spec: CaseSpec, seconds: float) -> None:
+        self.done = done
+        self.total = total
+        self.spec = spec
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProgressEvent({self.done}/{self.total}, {self.spec.label()}, {self.seconds:.2f}s)"
+
+
+# ----------------------------------------------------------------------- #
+# worker side
+# ----------------------------------------------------------------------- #
+_WORKER_ENGINE: Optional[AnalysisPipeline] = None
+
+
+def _init_worker(settings: PipelineSettings) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = settings.build()
+
+
+def _run_group(indexed_specs: list[tuple[int, CaseSpec]]) -> list[tuple[int, CaseResult, float]]:
+    """Run one analysis group inside a worker; returns (index, result, seconds)."""
+    assert _WORKER_ENGINE is not None, "worker engine not initialised"
+    out = []
+    for index, spec in indexed_specs:
+        start = time.perf_counter()
+        result = _WORKER_ENGINE.run_case(spec)
+        out.append((index, result, time.perf_counter() - start))
+    return out
+
+
+# ----------------------------------------------------------------------- #
+# driver side
+# ----------------------------------------------------------------------- #
+class SweepExecutor:
+    """Run a list of cases serially or across a process pool.
+
+    Parameters
+    ----------
+    engine:
+        The driver-side engine.  With ``jobs == 1`` cases run directly on it;
+        with ``jobs > 1`` its :meth:`~AnalysisPipeline.settings` are shipped
+        to the workers, so they see the same scale/config/cache directory.
+    jobs:
+        Number of worker processes (``1`` = in-process serial execution).
+    progress:
+        Optional callback invoked once per completed case with a
+        :class:`ProgressEvent`; called from the driver process only.
+    """
+
+    def __init__(
+        self,
+        engine: AnalysisPipeline,
+        *,
+        jobs: int = 1,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.engine = engine
+        self.jobs = jobs
+        self.progress = progress
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -------------------------------------------------------------- #
+    def run(self, specs: Sequence[CaseSpec]) -> list[CaseResult]:
+        """Run every case and return results in input order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return self._run_serial(specs)
+        return self._run_parallel(specs)
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op if none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    def _emit(self, done: int, total: int, spec: CaseSpec, seconds: float) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(done, total, spec, seconds))
+
+    def _run_serial(self, specs: list[CaseSpec]) -> list[CaseResult]:
+        results: list[CaseResult] = []
+        total = len(specs)
+        for i, spec in enumerate(specs):
+            start = time.perf_counter()
+            results.append(self.engine.run_case(spec))
+            self._emit(i + 1, total, spec, time.perf_counter() - start)
+        return results
+
+    @staticmethod
+    def group_by_analysis(specs: Sequence[CaseSpec]) -> list[list[tuple[int, CaseSpec]]]:
+        """Partition (index, spec) pairs into analysis-sharing groups."""
+        groups: dict[tuple, list[tuple[int, CaseSpec]]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(spec.analysis_signature(), []).append((index, spec))
+        return list(groups.values())
+
+    def _run_parallel(self, specs: list[CaseSpec]) -> list[CaseResult]:
+        groups = self.group_by_analysis(specs)
+        total = len(specs)
+        done = 0
+        results: list[Optional[CaseResult]] = [None] * total
+        if self._pool is None:
+            # the pool is kept for the executor's lifetime: workers are
+            # long-lived engines, so artifacts survive between run() calls
+            # (e.g. the analyses shared by successive tables of `repro all`)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.engine.settings(),),
+            )
+        pending = {self._pool.submit(_run_group, group) for group in groups}
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for index, result, seconds in future.result():
+                        results[index] = result
+                        done += 1
+                        self._emit(done, total, specs[index], seconds)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

@@ -1,0 +1,155 @@
+"""Stage protocol and the data types flowing through the pipeline.
+
+A :class:`Stage` is one step of the analysis/simulation chain.  It declares
+
+* ``name``/``version`` — its identity (bumping ``version`` invalidates every
+  cached artifact it ever produced, and everything downstream of them);
+* ``requires`` — the names of the upstream stages whose artifacts it reads;
+* ``persist`` — whether its artifact is worth writing to the disk tier;
+* ``params(engine, spec)`` — the exact set of parameters that influence its
+  output, used to build the content-addressed cache key;
+* ``compute(engine, spec, upstream)`` — the actual work.
+
+The engine (:class:`repro.pipeline.engine.AnalysisPipeline`) resolves the
+``requires`` graph, builds each stage's key from its params plus the upstream
+keys, and consults the artifact store before calling ``compute`` — stages
+never cache anything themselves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Mapping
+
+import numpy as np
+
+from repro.pipeline.store import content_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mapping import StaticMapping
+    from repro.pipeline.engine import AnalysisPipeline
+    from repro.runtime import SimulationResult
+    from repro.symbolic import AssemblyTree
+
+__all__ = ["CaseSpec", "Stage", "SplitArtifact", "AnalysisProducts", "CaseResult"]
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One point of the (problem × ordering × splitting × strategy) product.
+
+    Frozen and hashable so it can be used as a grouping key and shipped to
+    sweep workers; everything else that influences a case (scale, processor
+    count, machine model, …) lives in the engine configuration.
+    """
+
+    problem: str
+    ordering: str
+    strategy: str = "memory-full"
+    split: bool = False
+    track_traces: bool = False
+
+    def label(self) -> str:
+        """Short human-readable tag used by progress reporting."""
+        split = "+split" if self.split else ""
+        return f"{self.problem}/{self.ordering}/{self.strategy}{split}"
+
+    def analysis_signature(self) -> tuple:
+        """Grouping key: cases with equal signatures share their analysis."""
+        return (self.problem, self.ordering, self.split)
+
+
+class Stage(ABC):
+    """One step of the pipeline (see module docstring)."""
+
+    name: ClassVar[str]
+    version: ClassVar[str] = "1"
+    requires: ClassVar[tuple[str, ...]] = ()
+    persist: ClassVar[bool] = False
+    #: ``False`` keeps the artifact out of the store entirely (recomputed on
+    #: every request) — for cheap terminal stages whose results would
+    #: otherwise accumulate unboundedly in a long-lived engine.
+    cache: ClassVar[bool] = True
+
+    @abstractmethod
+    def params(self, engine: "AnalysisPipeline", spec: CaseSpec) -> dict[str, object]:
+        """Every parameter that influences this stage's output."""
+
+    @abstractmethod
+    def compute(
+        self, engine: "AnalysisPipeline", spec: CaseSpec, upstream: Mapping[str, object]
+    ) -> object:
+        """Produce the artifact from the upstream artifacts."""
+
+    def key(self, engine: "AnalysisPipeline", spec: CaseSpec, upstream_keys: tuple[str, ...]) -> str:
+        return content_key(self.name, self.version, self.params(engine, spec), upstream_keys)
+
+
+@dataclass
+class SplitArtifact:
+    """Output of the splitting stage: the (possibly rewritten) tree."""
+
+    tree: "AssemblyTree"
+    nodes_split: int = 0
+    threshold: int = 0
+
+
+@dataclass
+class AnalysisProducts:
+    """Everything produced by the analysis phase of one case.
+
+    This is the bundle the :class:`~repro.experiments.runner.ExperimentRunner`
+    façade hands out and the disk tier persists as one ``analysis-*.pkl``
+    artifact; the per-stage artifacts behind it stay in memory.
+    """
+
+    problem: str
+    ordering: str
+    scale: float
+    split: bool
+    split_threshold: int
+    tree: "AssemblyTree"
+    mapping: "StaticMapping"
+    nodes_split: int = 0
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one simulated case."""
+
+    problem: str
+    ordering: str
+    strategy: str
+    split: bool
+    nprocs: int
+    max_peak_stack: float
+    avg_peak_stack: float
+    sum_peak_stack: float
+    total_time: float
+    total_factor_entries: float
+    per_proc_peak_stack: np.ndarray
+    nodes: int
+    nodes_split: int
+    messages: int
+
+    @classmethod
+    def from_simulation(
+        cls, analysis: AnalysisProducts, strategy: str, result: "SimulationResult"
+    ) -> "CaseResult":
+        return cls(
+            problem=analysis.problem,
+            ordering=analysis.ordering,
+            strategy=strategy,
+            split=analysis.split,
+            nprocs=result.nprocs,
+            max_peak_stack=result.max_peak_stack,
+            avg_peak_stack=result.avg_peak_stack,
+            sum_peak_stack=result.sum_peak_stack,
+            total_time=result.total_time,
+            total_factor_entries=result.total_factor_entries,
+            per_proc_peak_stack=result.per_proc_peak_stack,
+            nodes=result.nodes,
+            nodes_split=analysis.nodes_split,
+            messages=int(sum(result.message_counts.values())),
+        )

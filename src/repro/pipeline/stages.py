@@ -1,0 +1,199 @@
+"""The six concrete stages of the factorization study pipeline.
+
+``pattern → ordering → tree → split → mapping → simulate``
+
+The first five form the *analysis* phase (expensive, shared by every strategy
+of a case); the last one is the *simulation* phase (cheap, one run per
+strategy).  Each stage declares exactly the parameters that influence its
+output, so the engine's content-addressed keys invalidate precisely what a
+parameter change actually affects — changing the strategy re-runs only the
+simulation, changing the amalgamation re-runs everything from the tree down,
+and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.mapping import compute_mapping
+from repro.ordering import compute_ordering
+from repro.pipeline.stage import CaseSpec, SplitArtifact, Stage
+from repro.runtime import FactorizationSimulator, SimulationConfig
+from repro.scheduling import get_strategy
+from repro.symbolic import build_assembly_tree, split_large_masters
+
+def _get_problem(name: str):
+    # deferred import: repro.experiments.__init__ imports the runner façade,
+    # which imports this package — a module-level import here would close
+    # that cycle before either side finished initialising
+    from repro.experiments.problems import get_problem
+
+    return get_problem(name)
+
+
+__all__ = [
+    "PatternStage",
+    "OrderingStage",
+    "TreeStage",
+    "SplitStage",
+    "MappingStage",
+    "SimulationStage",
+    "DEFAULT_STAGES",
+]
+
+
+class PatternStage(Stage):
+    """Problem registry → synthetic :class:`~repro.sparse.SparsePattern`."""
+
+    name = "pattern"
+    persist = False  # deterministic and fast to regenerate
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        return {"problem": _get_problem(spec.problem).name, "scale": engine.scale}
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
+        return _get_problem(spec.problem).build(engine.scale)
+
+
+class OrderingStage(Stage):
+    """Pattern → fill-reducing permutation (METIS/PORD/AMD/AMF analogues)."""
+
+    name = "ordering"
+    requires = ("pattern",)
+    persist = True  # the orderings dominate the analysis cost on big problems
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        return {"ordering": spec.ordering}
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
+        return compute_ordering(upstream["pattern"], spec.ordering)
+
+
+class TreeStage(Stage):
+    """(Pattern, permutation) → amalgamated assembly tree."""
+
+    name = "tree"
+    requires = ("pattern", "ordering")
+    persist = False
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        return {
+            "amalgamation_min_pivots": engine.amalgamation_min_pivots,
+            "amalgamation_relax": engine.amalgamation_relax,
+        }
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
+        return build_assembly_tree(
+            upstream["pattern"],
+            upstream["ordering"],
+            amalgamation_min_pivots=engine.amalgamation_min_pivots,
+            amalgamation_relax=engine.amalgamation_relax,
+            keep_variables=False,
+            name=f"{_get_problem(spec.problem).name}-{spec.ordering}",
+        )
+
+
+class SplitStage(Stage):
+    """Optional static splitting of large type-2 masters (Section 6)."""
+
+    name = "split"
+    requires = ("tree",)
+    persist = False
+
+    def threshold(self, engine, spec: CaseSpec) -> int:
+        return max(int(_get_problem(spec.problem).split_threshold * engine.scale), 1_000)
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        params: dict[str, object] = {"split": bool(spec.split)}
+        if spec.split:
+            params["threshold"] = self.threshold(engine, spec)
+        return params
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]) -> SplitArtifact:
+        tree = upstream["tree"]
+        if not spec.split:
+            return SplitArtifact(tree=tree, nodes_split=0, threshold=0)
+        threshold = self.threshold(engine, spec)
+        tree, report = split_large_masters(tree, threshold)
+        return SplitArtifact(tree=tree, nodes_split=report.nodes_split, threshold=threshold)
+
+
+class MappingStage(Stage):
+    """Tree → static mapping (Geist-Ng layers, node types, candidates)."""
+
+    name = "mapping"
+    requires = ("split",)
+    persist = False
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        cfg = engine.config
+        return {
+            "nprocs": engine.nprocs,
+            "type2_front_threshold": cfg.type2_front_threshold,
+            "type2_cb_threshold": cfg.type2_cb_threshold,
+            "type3_front_threshold": cfg.type3_front_threshold,
+            "imbalance_tolerance": cfg.imbalance_tolerance,
+            "min_subtrees_per_proc": cfg.min_subtrees_per_proc,
+            "subtree_cost": cfg.subtree_cost,
+        }
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
+        cfg = engine.config
+        return compute_mapping(
+            upstream["split"].tree,
+            engine.nprocs,
+            type2_front_threshold=cfg.type2_front_threshold,
+            type2_cb_threshold=cfg.type2_cb_threshold,
+            type3_front_threshold=cfg.type3_front_threshold,
+            imbalance_tolerance=cfg.imbalance_tolerance,
+            min_subtrees_per_proc=cfg.min_subtrees_per_proc,
+            subtree_cost=cfg.subtree_cost,
+        )
+
+
+class SimulationStage(Stage):
+    """(Tree, mapping, strategy) → :class:`~repro.runtime.SimulationResult`."""
+
+    name = "simulate"
+    requires = ("split", "mapping")
+    # cheap relative to the analysis and one result per (case, config) key —
+    # caching them would grow a long-lived engine (benchmark harness, `repro
+    # all`) without bound, so the simulation is re-run per request like the
+    # pre-pipeline runner did
+    cache = False
+    persist = False
+
+    def params(self, engine, spec: CaseSpec) -> dict[str, object]:
+        # the full machine model matters here (rates, latencies, …), not just
+        # the mapping thresholds, so hash every config field
+        params = dict(engine.config.__dict__)
+        params["strategy"] = get_strategy(spec.strategy).name
+        params["track_traces"] = bool(spec.track_traces)
+        return params
+
+    def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
+        preset = get_strategy(spec.strategy)
+        slave_selector, task_selector = preset.build()
+        config = SimulationConfig(
+            **{**engine.config.__dict__, "track_traces": bool(spec.track_traces)}
+        )
+        sim = FactorizationSimulator(
+            upstream["split"].tree,
+            config=config,
+            mapping=upstream["mapping"],
+            slave_selector=slave_selector,
+            task_selector=task_selector,
+            strategy_name=preset.name,
+        )
+        return sim.run()
+
+
+#: the stage chain in dependency order, as instantiated by the engine.
+DEFAULT_STAGES: tuple[type[Stage], ...] = (
+    PatternStage,
+    OrderingStage,
+    TreeStage,
+    SplitStage,
+    MappingStage,
+    SimulationStage,
+)

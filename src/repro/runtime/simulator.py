@@ -488,10 +488,8 @@ class FactorizationSimulator:
         candidates = [q for q in self.mapping.candidates.get(node, []) if q != task.proc]
         if not candidates:
             candidates = [q for q in range(cfg.nprocs) if q != task.proc]
-        mem_view = np.array([p.view.instantaneous_memory(q) for q in range(cfg.nprocs)])
-        eff_view = np.array(
-            [p.view.effective_memory(q, with_predictions=True) for q in range(cfg.nprocs)]
-        )
+        mem_view = p.view.memory_snapshot()
+        eff_view = p.view.effective_memory_snapshot(with_predictions=True)
         load_view = p.view.load.copy()
         ctx = SlaveSelectionContext(
             master_proc=task.proc,

@@ -146,13 +146,14 @@ class SparsePattern:
         return np.diff(indptr).astype(np.int64)
 
     def has_diagonal(self) -> bool:
-        """Whether every diagonal entry is present."""
-        for i in range(self.n):
-            r = self.row(i)
-            pos = np.searchsorted(r, i)
-            if pos >= r.size or r[pos] != i:
-                return False
-        return True
+        """Whether every diagonal entry is present.
+
+        Column indices are unique within a row, so each row contributes at
+        most one ``row == col`` entry; the diagonal is complete exactly when
+        there are ``n`` such entries — one vectorized pass, no per-row loop.
+        """
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        return int(np.count_nonzero(rows == self.indices)) == self.n
 
     def is_structurally_symmetric(self) -> bool:
         """Check whether the stored pattern equals its transpose."""
@@ -290,4 +291,6 @@ class SparsePattern:
         )
 
     def __hash__(self) -> int:
-        return hash((self.n, self.nnz, self.symmetric, self.name))
+        # structure only, like __eq__ — the name is a label, not identity;
+        # cheap on purpose (hashing indices would cost O(nnz) per lookup)
+        return hash((self.n, self.nnz, self.symmetric))

@@ -30,12 +30,77 @@ def test_single_table_small(capsys):
     assert "XENON2" in out
 
 
+def test_sweep_target(capsys):
+    code = main(
+        [
+            "sweep",
+            "--nprocs", "4",
+            "--scale", "0.2",
+            "--problems", "XENON2",
+            "--orderings", "metis",
+            "--strategies", "mumps-workload,memory-full",
+            "--no-progress",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SWEEP (2 cases" in out
+    assert "mumps-workload" in out and "memory-full" in out
+
+
+def test_sweep_target_parallel_jobs(capsys):
+    code = main(
+        [
+            "sweep",
+            "--nprocs", "4",
+            "--scale", "0.2",
+            "--problems", "XENON2",
+            "--orderings", "metis,amd",
+            "--strategies", "memory-full",
+            "--jobs", "2",
+            "--no-progress",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SWEEP (2 cases" in out
+
+
+def test_progress_lines_on_stderr(capsys):
+    code = main(
+        ["sweep", "--nprocs", "4", "--scale", "0.2", "--problems", "XENON2",
+         "--orderings", "metis", "--strategies", "memory-full"]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[1/1] XENON2/metis/memory-full" in err
+
+
 def test_unknown_target():
     with pytest.raises(SystemExit):
         main(["table99"])
+
+
+def test_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["table1", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        main(["list", "--jobs", "0"])
+
+
+def test_rejects_unknown_subset_values(capsys):
+    for argv in (
+        ["sweep", "--problems", "NOPE"],
+        ["sweep", "--strategies", "bogus"],
+        ["table2", "--orderings", "bogus"],
+    ):
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "unknown --" in capsys.readouterr().err
 
 
 def test_parser_defaults():
     args = build_parser().parse_args(["table1"])
     assert args.nprocs == 32
     assert args.scale == 1.0
+    assert args.jobs == 1

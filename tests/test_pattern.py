@@ -158,6 +158,30 @@ class TestTransforms:
         assert a != banded_pattern(9)
         assert a.__eq__(42) is NotImplemented
 
+    def test_hash_ignores_name(self):
+        """Regression: __eq__ ignores the name, so __hash__ must too.
+
+        Structurally equal patterns with different names used to land in
+        different hash buckets, breaking the hash/eq contract (equal objects
+        must have equal hashes) and therefore set/dict membership.
+        """
+        a = SparsePattern.from_coo(3, [0, 1, 2], [0, 1, 2], name="one")
+        b = SparsePattern.from_coo(3, [0, 1, 2], [0, 1, 2], name="two")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert b in {a: "x"}
+
+    def test_has_diagonal(self):
+        assert SparsePattern.from_coo(3, [0, 1, 2], [0, 1, 2]).has_diagonal()
+        assert not SparsePattern.from_coo(3, [0, 1], [0, 1]).has_diagonal()
+        # off-diagonal entries alongside a full diagonal
+        assert SparsePattern.from_coo(2, [0, 0, 1, 1], [0, 1, 0, 1]).has_diagonal()
+        # a strictly off-diagonal entry does not compensate a missing pivot
+        assert not SparsePattern.from_coo(2, [0, 1, 1], [0, 0, 0]).has_diagonal()
+        assert grid_2d(4, 4).has_diagonal()
+        assert SparsePattern.from_coo(0, [], []).has_diagonal()
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -1,0 +1,315 @@
+"""Tests for the staged pipeline engine, artifact stores and sweep executor."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    AnalysisPipeline,
+    CaseSpec,
+    DiskStore,
+    MemoryStore,
+    PipelineSettings,
+    SweepExecutor,
+    TieredStore,
+    content_key,
+)
+
+
+# --------------------------------------------------------------------------- #
+# content keys
+# --------------------------------------------------------------------------- #
+class TestContentKey:
+    def test_deterministic(self):
+        a = content_key("tree", "1", {"x": 1, "y": 2.5}, ("pattern-abc",))
+        b = content_key("tree", "1", {"y": 2.5, "x": 1}, ("pattern-abc",))
+        assert a == b  # param order must not matter
+        assert a.startswith("tree-")
+
+    def test_sensitive_to_everything(self):
+        base = content_key("tree", "1", {"x": 1}, ("up",))
+        assert content_key("tree", "2", {"x": 1}, ("up",)) != base
+        assert content_key("tree", "1", {"x": 2}, ("up",)) != base
+        assert content_key("tree", "1", {"x": 1}, ("other",)) != base
+        assert content_key("split", "1", {"x": 1}, ("up",)) != base
+
+
+# --------------------------------------------------------------------------- #
+# stores
+# --------------------------------------------------------------------------- #
+class TestStores:
+    def test_memory_store(self):
+        store = MemoryStore()
+        assert "k" not in store
+        store.put("k", [1, 2])
+        assert "k" in store
+        assert store.get("k") == [1, 2]
+        with pytest.raises(KeyError):
+            store.get("missing")
+
+    def test_disk_store_roundtrip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        payload = {"arr": np.arange(5), "label": "x"}
+        store.put("tree-abc", payload)
+        assert (tmp_path / "tree-abc.pkl").exists()
+        fresh = DiskStore(tmp_path)
+        loaded = fresh.get("tree-abc")
+        assert loaded["label"] == "x"
+        assert np.array_equal(loaded["arr"], payload["arr"])
+        assert list(fresh.keys()) == ["tree-abc"]
+
+    def test_tiered_store_persist_flag(self, tmp_path):
+        store = TieredStore(DiskStore(tmp_path))
+        store.put("cheap-1", "a", persist=False)
+        store.put("dear-1", "b", persist=True)
+        assert not (tmp_path / "cheap-1.pkl").exists()
+        assert (tmp_path / "dear-1.pkl").exists()
+        # both visible through the memory tier
+        assert store.get("cheap-1") == "a"
+        assert store.get("dear-1") == "b"
+        # a fresh tiered store only sees the persisted artifact
+        fresh = TieredStore(DiskStore(tmp_path))
+        assert "dear-1" in fresh and "cheap-1" not in fresh
+
+    def test_tiered_store_promotes_disk_hits(self, tmp_path):
+        DiskStore(tmp_path).put("k-1", 42)
+        store = TieredStore(DiskStore(tmp_path))
+        assert store.get("k-1") == 42
+        assert "k-1" in store.memory
+
+
+# --------------------------------------------------------------------------- #
+# engine: cache-key invalidation
+# --------------------------------------------------------------------------- #
+SPEC = CaseSpec("XENON2", "metis", "memory-full")
+
+
+def engine(**kwargs) -> AnalysisPipeline:
+    kwargs.setdefault("nprocs", 4)
+    kwargs.setdefault("scale", 0.2)
+    return AnalysisPipeline(**kwargs)
+
+
+class TestCacheKeys:
+    def test_keys_stable_across_engines(self):
+        a, b = engine(), engine()
+        for stage in ("pattern", "ordering", "tree", "split", "mapping", "simulate"):
+            assert a.stage_key(stage, SPEC) == b.stage_key(stage, SPEC)
+
+    def test_scale_invalidates_from_pattern_down(self):
+        a, b = engine(scale=0.2), engine(scale=0.25)
+        for stage in ("pattern", "ordering", "tree", "split", "mapping", "simulate"):
+            assert a.stage_key(stage, SPEC) != b.stage_key(stage, SPEC)
+
+    def test_ordering_invalidates_downstream_only(self):
+        other = CaseSpec("XENON2", "amd", "memory-full")
+        e = engine()
+        assert e.stage_key("pattern", SPEC) == e.stage_key("pattern", other)
+        for stage in ("ordering", "tree", "split", "mapping", "simulate"):
+            assert e.stage_key(stage, SPEC) != e.stage_key(stage, other)
+
+    def test_amalgamation_invalidates_tree_down(self):
+        a, b = engine(), engine(amalgamation_relax=0.3)
+        assert a.stage_key("pattern", SPEC) == b.stage_key("pattern", SPEC)
+        assert a.stage_key("ordering", SPEC) == b.stage_key("ordering", SPEC)
+        for stage in ("tree", "split", "mapping", "simulate"):
+            assert a.stage_key(stage, SPEC) != b.stage_key(stage, SPEC)
+
+    def test_nprocs_invalidates_mapping_down(self):
+        a, b = engine(nprocs=4), engine(nprocs=8)
+        for stage in ("pattern", "ordering", "tree", "split"):
+            assert a.stage_key(stage, SPEC) == b.stage_key(stage, SPEC)
+        for stage in ("mapping", "simulate"):
+            assert a.stage_key(stage, SPEC) != b.stage_key(stage, SPEC)
+
+    def test_strategy_invalidates_simulation_only(self):
+        other = CaseSpec("XENON2", "metis", "mumps-workload")
+        e = engine()
+        for stage in ("pattern", "ordering", "tree", "split", "mapping"):
+            assert e.stage_key(stage, SPEC) == e.stage_key(stage, other)
+        assert e.stage_key("simulate", SPEC) != e.stage_key("simulate", other)
+
+    def test_split_invalidates_split_down(self):
+        other = CaseSpec("XENON2", "metis", "memory-full", split=True)
+        e = engine()
+        for stage in ("pattern", "ordering", "tree"):
+            assert e.stage_key(stage, SPEC) == e.stage_key(stage, other)
+        for stage in ("split", "mapping", "simulate"):
+            assert e.stage_key(stage, SPEC) != e.stage_key(stage, other)
+
+
+# --------------------------------------------------------------------------- #
+# engine: artifact reuse and disk round-trips
+# --------------------------------------------------------------------------- #
+class TestEngine:
+    def test_artifacts_cached_in_memory(self):
+        e = engine()
+        assert e.pattern("XENON2") is e.pattern("XENON2")
+        assert e.analysis("XENON2", "metis") is e.analysis("XENON2", "metis")
+        r1, r2 = e.run_case(SPEC), e.run_case(SPEC)
+        assert r1.max_peak_stack == r2.max_peak_stack
+
+    def test_strategies_share_analysis(self):
+        e = engine()
+        a = e.run_case(CaseSpec("XENON2", "metis", "mumps-workload"))
+        b = e.run_case(CaseSpec("XENON2", "metis", "memory-full"))
+        assert a.total_factor_entries == pytest.approx(b.total_factor_entries)
+
+    def test_disk_roundtrip_through_engine(self, tmp_path):
+        first = engine(cache_dir=tmp_path)
+        products = first.analysis("XENON2", "amd")
+        assert list(tmp_path.glob("analysis-*.pkl"))
+        assert list(tmp_path.glob("ordering-*.pkl"))
+        # a fresh engine reads the bundle back instead of recomputing
+        fresh = engine(cache_dir=tmp_path)
+        again = fresh.analysis("XENON2", "amd")
+        assert again.tree.nnodes == products.tree.nnodes
+        assert np.array_equal(again.mapping.owner, products.mapping.owner)
+
+    def test_disk_reload_simulates_identically(self, tmp_path):
+        direct = engine().run_case(SPEC)
+        engine(cache_dir=tmp_path).analysis(SPEC.problem, SPEC.ordering)
+        reloaded = engine(cache_dir=tmp_path).run_case(SPEC)
+        assert reloaded.max_peak_stack == direct.max_peak_stack
+        assert reloaded.total_time == direct.total_time
+        assert reloaded.messages == direct.messages
+
+    def test_simulation_results_not_retained(self):
+        # the simulate stage is cache=False: a long-lived engine must not
+        # accumulate one SimulationResult per (case, config) key
+        e = engine()
+        first = e.simulate(SPEC)
+        second = e.simulate(SPEC)
+        assert first is not second
+        assert first.max_peak_stack == second.max_peak_stack
+        assert e.stage_key("simulate", SPEC) not in e.store
+        traced = e.simulate(CaseSpec("XENON2", "metis", "memory-full", track_traces=True))
+        assert traced.max_peak_stack == first.max_peak_stack
+
+    def test_loaded_bundle_seeds_stage_artifacts(self, tmp_path):
+        # an analysis bundle read from the disk tier must let the simulation
+        # stage reuse the tree/mapping instead of recomputing them
+        engine(cache_dir=tmp_path).analysis("XENON2", "metis")
+        fresh = engine(cache_dir=tmp_path)
+        products = fresh.analysis("XENON2", "metis")
+        split_art = fresh.artifact("split", SPEC)
+        assert split_art.tree is products.tree
+        assert fresh.artifact("mapping", SPEC) is products.mapping
+
+    def test_settings_roundtrip(self, tmp_path):
+        e = engine(cache_dir=tmp_path, amalgamation_relax=0.2)
+        clone = e.settings().build()
+        assert clone.stage_key("simulate", SPEC) == e.stage_key("simulate", SPEC)
+        assert clone.cache_dir == str(tmp_path)
+
+
+# --------------------------------------------------------------------------- #
+# sweep executor
+# --------------------------------------------------------------------------- #
+GRID = [
+    CaseSpec(problem, ordering, strategy)
+    for problem in ("XENON2",)
+    for ordering in ("metis", "amd")
+    for strategy in ("mumps-workload", "memory-full")
+]
+
+
+def assert_case_results_equal(a, b):
+    assert (a.problem, a.ordering, a.strategy, a.split) == (b.problem, b.ordering, b.strategy, b.split)
+    assert a.max_peak_stack == b.max_peak_stack
+    assert a.avg_peak_stack == b.avg_peak_stack
+    assert a.sum_peak_stack == b.sum_peak_stack
+    assert a.total_time == b.total_time
+    assert a.total_factor_entries == b.total_factor_entries
+    assert np.array_equal(a.per_proc_peak_stack, b.per_proc_peak_stack)
+    assert (a.nodes, a.nodes_split, a.messages, a.nprocs) == (b.nodes, b.nodes_split, b.messages, b.nprocs)
+
+
+class TestSweepExecutor:
+    def test_grouping(self):
+        groups = SweepExecutor.group_by_analysis(GRID)
+        assert len(groups) == 2  # one per (problem, ordering, split)
+        for group in groups:
+            signatures = {spec.analysis_signature() for _, spec in group}
+            assert len(signatures) == 1
+            assert len(group) == 2
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(engine(), jobs=0)
+
+    def test_empty_sweep(self):
+        assert SweepExecutor(engine(), jobs=2).run([]) == []
+
+    def test_serial_progress_order(self):
+        events = []
+        executor = SweepExecutor(engine(), jobs=1, progress=events.append)
+        executor.run(GRID)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert [e.spec for e in events] == GRID
+
+    def test_parallel_matches_serial(self):
+        serial = SweepExecutor(engine(), jobs=1).run(GRID)
+        events = []
+        parallel = SweepExecutor(engine(), jobs=2, progress=events.append).run(GRID)
+        assert len(parallel) == len(serial) == 4
+        for a, b in zip(serial, parallel):
+            assert_case_results_equal(a, b)
+        # one progress event per case, monotonically counting up
+        assert sorted(e.done for e in events) == [1, 2, 3, 4]
+
+    def test_parallel_through_runner_facade(self):
+        from repro.experiments import ExperimentRunner
+
+        serial = ExperimentRunner(nprocs=4, scale=0.2)
+        parallel = ExperimentRunner(nprocs=4, scale=0.2, jobs=2)
+        try:
+            a = serial.sweep(["XENON2"], ["metis"], ["mumps-workload", "memory-full"])
+            b = parallel.sweep(["XENON2"], ["metis"], ["mumps-workload", "memory-full"])
+            for x, y in zip(a, b):
+                assert_case_results_equal(x, y)
+        finally:
+            parallel.close()
+
+    def test_pool_reused_across_runs(self):
+        executor = SweepExecutor(engine(), jobs=2)
+        with executor:
+            first = executor.run(GRID[:2])
+            pool = executor._pool
+            assert pool is not None
+            second = executor.run(GRID[2:])
+            assert executor._pool is pool  # same long-lived workers
+            assert len(first) == len(second) == 2
+        assert executor._pool is None  # context exit shuts the pool down
+
+    def test_close_idempotent(self):
+        executor = SweepExecutor(engine(), jobs=2)
+        executor.close()
+        executor.close()
+
+    def test_workers_honour_disabled_cache(self, tmp_path, monkeypatch):
+        # cache_dir="" means "disk tier off" — workers must not fall back to
+        # the REPRO_CACHE_DIR environment variable behind the driver's back
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with SweepExecutor(engine(cache_dir=""), jobs=2) as executor:
+            executor.run(GRID[:2])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCaseSpec:
+    def test_label_and_signature(self):
+        spec = CaseSpec("PRE2", "amd", "memory-full", split=True)
+        assert spec.label() == "PRE2/amd/memory-full+split"
+        assert spec.analysis_signature() == ("PRE2", "amd", True)
+        assert CaseSpec("PRE2", "amd", "mumps-workload", split=True).analysis_signature() == (
+            "PRE2",
+            "amd",
+            True,
+        )
+
+    def test_settings_picklable(self):
+        import pickle
+
+        settings = PipelineSettings(nprocs=4, scale=0.2)
+        clone = pickle.loads(pickle.dumps(settings))
+        assert clone == settings
