@@ -24,15 +24,8 @@ def bench_amalgamation(problem="XENON2", ordering="metis"):
     results = {}
     for relax in (0.0, 0.1, 0.25, 0.5):
         tree = build_assembly_tree(pattern, perm, amalgamation_relax=relax, keep_variables=False)
-        config = SimulationConfig(
-            nprocs=BENCH_NPROCS,
-            type2_front_threshold=96,
-            type2_cb_threshold=24,
-            type3_front_threshold=256,
-        )
-        mapping = compute_mapping(
-            tree, BENCH_NPROCS, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-        )
+        config = SimulationConfig.paper(nprocs=BENCH_NPROCS)
+        mapping = compute_mapping(tree, BENCH_NPROCS, **config.mapping_params())
         slave, task = get_strategy("memory-full").build()
         result = FactorizationSimulator(
             tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task

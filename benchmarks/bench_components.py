@@ -58,12 +58,8 @@ def test_bench_sequential_memory_trace(benchmark, tree):
 
 
 def test_bench_parallel_simulation(benchmark, tree):
-    config = SimulationConfig(
-        nprocs=16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-    )
-    mapping = compute_mapping(
-        tree, 16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-    )
+    config = SimulationConfig.paper(nprocs=16)
+    mapping = compute_mapping(tree, 16, **config.mapping_params())
 
     def run():
         slave, task = get_strategy("memory-full").build()

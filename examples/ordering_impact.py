@@ -34,15 +34,11 @@ def main(problem_name: str = "XENON2") -> None:
     print(f"{'ordering':10s} {'nodes':>6s} {'depth':>6s} {'max front':>10s} "
           f"{'factors':>12s} {'seq. peak':>12s} {'par. peak(16p)':>15s}")
 
-    config = SimulationConfig(
-        nprocs=16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-    )
+    config = SimulationConfig.paper(nprocs=16)
     for ordering in ("metis", "pord", "amd", "amf", "rcm"):
         perm = compute_ordering(pattern, ordering)
         tree = build_assembly_tree(pattern, perm, keep_variables=False)
-        mapping = compute_mapping(
-            tree, 16, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-        )
+        mapping = compute_mapping(tree, 16, **config.mapping_params())
         slave, task = get_strategy("mumps-workload").build()
         result = FactorizationSimulator(
             tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task

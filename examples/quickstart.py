@@ -27,12 +27,8 @@ def main() -> None:
     pattern = grid_3d(14, 14, 14, name="quickstart-grid")
     print(f"problem: {pattern}")
 
-    config = SimulationConfig(
-        nprocs=16,
-        type2_front_threshold=96,
-        type2_cb_threshold=24,
-        type3_front_threshold=256,
-    )
+    # the paper's node-type thresholds at 16 simulated processors
+    config = SimulationConfig.paper(nprocs=16)
 
     results = {}
     for strategy in ("mumps-workload", "memory-full"):
@@ -49,6 +45,24 @@ def main() -> None:
     gain = 100.0 * (base - mem) / base if base else 0.0
     print(f"\nmemory-based scheduling changes the max stack peak by {gain:+.1f}%")
     print("(positive = less memory, the quantity reported in Tables 2, 3 and 5 of the paper)")
+
+    # the same comparison on a registered test problem, declaratively: one
+    # session, one sweep over a strategy-parameter axis and a processor axis
+    import repro
+
+    with repro.open_session(nprocs=8, scale=0.25) as session:
+        sweep = session.sweep(
+            problems="XENON2",
+            strategies=["mumps-workload", "hybrid(alpha=0.5)"],
+            nprocs=[4, 8],
+        )
+    print("\ndeclarative sweep (XENON2, strategy x nprocs grid):")
+    for case in sweep:
+        print(
+            f"  {case.strategy:18s} np={case.nprocs:2d}  "
+            f"max stack peak = {case.max_peak_stack:10,.0f} entries  "
+            f"time = {case.total_time * 1e3:6.2f} ms  messages = {case.messages}"
+        )
 
 
 if __name__ == "__main__":

@@ -53,16 +53,8 @@ def main() -> None:
           f"final factors: {trace.final_factors:,.0f} entries")
 
     print("\n=== parallel per-processor stack (8 processors) ===")
-    config = SimulationConfig(
-        nprocs=8,
-        type2_front_threshold=96,
-        type2_cb_threshold=24,
-        type3_front_threshold=256,
-        track_traces=True,
-    )
-    mapping = compute_mapping(
-        tree, 8, type2_front_threshold=96, type2_cb_threshold=24, type3_front_threshold=256
-    )
+    config = SimulationConfig.paper(nprocs=8, track_traces=True)
+    mapping = compute_mapping(tree, 8, **config.mapping_params())
     for strategy in ("mumps-workload", "memory-full"):
         slave, task = get_strategy(strategy).build()
         result = FactorizationSimulator(

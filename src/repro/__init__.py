@@ -23,8 +23,11 @@ offline:
   (pattern → ordering → tree → split → mapping → simulate), a tiered
   memory/disk artifact store and a process-pool sweep executor
   (:mod:`repro.pipeline`, see ``docs/pipeline.md``);
-* the experiment harness regenerating every table and figure of the paper
-  on top of that engine (:mod:`repro.experiments`).
+* a declarative scenario API on top of it all — unified plugin registries
+  (:mod:`repro.registry`), parameterized specs and the spec mini-language
+  (:mod:`repro.specs`), and the :class:`~repro.session.Session` façade
+  regenerating every table and figure of the paper
+  (:mod:`repro.session`, :mod:`repro.experiments`, see ``docs/api.md``).
 
 Quickstart
 ----------
@@ -35,14 +38,19 @@ case (the one-call façade)::
     >>> quick_compare("XENON2", "metis", nprocs=8, scale=0.4)   # doctest: +SKIP
     {'baseline_peak': ..., 'candidate_peak': ..., 'gain_percent': ...}
 
-Sweep a grid of cases across four worker processes, sharing every analysis
-artifact through an on-disk store::
+Open a session and sweep a declarative grid — strategy parameters and
+processor counts are first-class axes, four worker processes share every
+analysis artifact through an on-disk store::
 
-    >>> from repro.experiments import ExperimentRunner
-    >>> runner = ExperimentRunner(nprocs=32, scale=0.6, cache_dir=".repro_cache", jobs=4)
-    >>> results = runner.sweep(                                 # doctest: +SKIP
-    ...     ["XENON2", "PRE2"], ["metis", "amd"], ["mumps-workload", "memory-full"]
-    ... )
+    >>> import repro
+    >>> with repro.open_session(scale=0.6, cache_dir=".repro_cache", jobs=4) as s:
+    ...     results = s.sweep(                                  # doctest: +SKIP
+    ...         problems=["XENON2", "PRE2"],
+    ...         orderings=["metis", "amd"],
+    ...         strategies=["mumps-workload", "hybrid(alpha=0.25)", "hybrid(alpha=0.75)"],
+    ...         nprocs=[8, 16, 32],
+    ...     )
+    ...     payload = [r.to_dict() for r in results]            # JSON-ready
 
 Or drive the engine directly with explicit case specs::
 
@@ -54,26 +62,36 @@ Or drive the engine directly with explicit case specs::
 The same sweeps are available from the command line::
 
     python -m repro table2 --jobs 4 --nprocs 32 --scale 1.0
-    python -m repro sweep --problems XENON2 --strategies memory-full --jobs 4
+    python -m repro sweep --problems XENON2 --strategies 'hybrid(alpha=0.25)' \\
+        --nprocs 8,16,32 --jobs 4 --format json
+    python -m repro list --format json
 """
 
 from __future__ import annotations
 
 from repro.sparse import SparsePattern
 from repro.ordering import compute_ordering, ORDERINGS
+from repro.registry import Registry
+from repro.specs import ParamSpec, SweepSpec, parse_spec
 from repro.symbolic import AssemblyTree, build_assembly_tree, split_large_masters
 from repro.analysis import sequential_memory_trace, sequential_stack_peak
 from repro.mapping import compute_mapping, StaticMapping, NodeType
 from repro.runtime import FactorizationSimulator, SimulationConfig, SimulationResult
-from repro.scheduling import STRATEGIES, get_strategy
+from repro.scheduling import STRATEGIES, get_strategy, resolve_strategy
+from repro.session import Session, open_session
+from repro.pipeline import CaseResult, CaseSpec
 from repro.experiments import ExperimentRunner, PROBLEMS, get_problem
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "SparsePattern",
     "compute_ordering",
     "ORDERINGS",
+    "Registry",
+    "ParamSpec",
+    "SweepSpec",
+    "parse_spec",
     "AssemblyTree",
     "build_assembly_tree",
     "split_large_masters",
@@ -87,6 +105,11 @@ __all__ = [
     "SimulationResult",
     "STRATEGIES",
     "get_strategy",
+    "resolve_strategy",
+    "Session",
+    "open_session",
+    "CaseSpec",
+    "CaseResult",
     "ExperimentRunner",
     "PROBLEMS",
     "get_problem",
@@ -106,29 +129,25 @@ def simulate(
 ) -> SimulationResult:
     """One-call pipeline: pattern → ordering → tree → mapping → simulation.
 
-    Convenience wrapper for scripts and examples; the experiment harness uses
-    :class:`repro.experiments.ExperimentRunner` instead (it caches the
-    analysis products across strategies).
+    ``ordering`` and ``strategy`` accept the spec mini-language
+    (``"hybrid(alpha=0.3)"``).  Convenience wrapper for scripts and
+    examples; the experiment harness uses :class:`repro.session.Session`
+    instead (it caches the analysis products across strategies).
     """
     perm = compute_ordering(pattern, ordering)
     tree = build_assembly_tree(pattern, perm)
     if split_threshold is not None:
         tree, _ = split_large_masters(tree, split_threshold)
     if config is None:
-        config = SimulationConfig(
-            nprocs=nprocs,
-            type2_front_threshold=96,
-            type2_cb_threshold=24,
-            type3_front_threshold=256,
-        )
-    preset = get_strategy(strategy)
-    slave_selector, task_selector = preset.build()
+        config = SimulationConfig.paper(nprocs)
+    preset, params = resolve_strategy(strategy)
+    slave_selector, task_selector = preset.build(**params)
     simulator = FactorizationSimulator(
         tree,
         config=config,
         slave_selector=slave_selector,
         task_selector=task_selector,
-        strategy_name=strategy,
+        strategy_name=preset.name,
     )
     return simulator.run()
 
@@ -142,5 +161,5 @@ def quick_compare(
     split: bool = False,
 ) -> dict[str, float]:
     """Compare the paper's memory strategy against the MUMPS baseline on one case."""
-    runner = ExperimentRunner(nprocs=nprocs, scale=scale)
-    return runner.compare(problem, ordering, split_baseline=split, split_candidate=split)
+    with open_session(nprocs=nprocs, scale=scale) as session:
+        return session.compare(problem, ordering, split_baseline=split, split_candidate=split)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.mapping import NodeType, compute_mapping
 from repro.ordering import compute_ordering
 from repro.pipeline import AnalysisPipeline
+from repro.registry import Registry
 from repro.runtime import FactorizationSimulator, SimulationConfig
 from repro.scheduling import (
     LifoTaskSelector,
@@ -177,7 +178,7 @@ def figure4(
 # --------------------------------------------------------------------------- #
 # Figure 5: staleness of the memory information
 # --------------------------------------------------------------------------- #
-def figure5(latency: float = 5e-4) -> dict[str, object]:
+def figure5(latency: float = 5e-4, cache_dir: str | None = None) -> dict[str, object]:
     """Quantify the divergence between a processor's memory and the others' view of it.
 
     A small problem is simulated twice, with negligible and with large
@@ -192,19 +193,13 @@ def figure5(latency: float = 5e-4) -> dict[str, object]:
     default amalgamation — so it does not share artifacts with them.)
     """
     engine = AnalysisPipeline(
-        nprocs=8, scale=0.35, amalgamation_relax=0.25, amalgamation_min_pivots=8
+        nprocs=8, scale=0.35, amalgamation_relax=0.25, amalgamation_min_pivots=8,
+        cache_dir=cache_dir,
     )
     tree = engine.tree("XENON2", "metis")
     peaks = {}
     for label, lat in (("fresh views", 1e-9), ("stale views", latency)):
-        config = SimulationConfig(
-            nprocs=8,
-            type2_front_threshold=96,
-            type2_cb_threshold=24,
-            type3_front_threshold=256,
-            memory_message_latency=lat,
-            latency=lat,
-        )
+        config = SimulationConfig.paper(8, memory_message_latency=lat, latency=lat)
         strategy = get_strategy("memory-basic")
         slave, task = strategy.build()
         result = FactorizationSimulator(
@@ -326,13 +321,28 @@ def figure8() -> dict[str, object]:
     }
 
 
-ALL_FIGURES = {
-    "figure1": figure1,
-    "figure2": figure2,
-    "figure3": figure3,
-    "figure4": figure4,
-    "figure5": figure5,
-    "figure6": figure6,
-    "figure7": figure7,
-    "figure8": figure8,
-}
+#: Registry of the figure generators (a Mapping: ``ALL_FIGURES["figure5"]``).
+#: ``params`` records the keyword arguments each generator accepts; the CLI
+#: threads its ``--nprocs`` / ``--cache`` flags through them (and rejects
+#: flags no requested figure supports, instead of silently ignoring them).
+ALL_FIGURES: Registry = Registry("figure")
+ALL_FIGURES.add("figure1", figure1,
+                description="The 6x6 example matrix and its assembly tree (Section 2)")
+ALL_FIGURES.add("figure2", figure2,
+                description="Distribution of an assembly tree over the processors",
+                params={"nprocs": 4})
+ALL_FIGURES.add("figure3", figure3,
+                description="1-D blocking of type-2 nodes (symmetric vs unsymmetric)",
+                params={"npiv": 40, "nfront": 200, "nslaves": 3})
+ALL_FIGURES.add("figure4", figure4,
+                description="Algorithm 1 levels the memory of the selected slaves")
+ALL_FIGURES.add("figure5", figure5,
+                description="Staleness of the memory information (bookkeeping latency)",
+                params={"latency": 5e-4, "cache_dir": None})
+ALL_FIGURES.add("figure6", figure6,
+                description="Predicting the activation of incoming master tasks (Section 5.1)")
+ALL_FIGURES.add("figure7", figure7,
+                description="Initial content of the local task pools",
+                params={"nprocs": 4})
+ALL_FIGURES.add("figure8", figure8,
+                description="Algorithm 2 delays a large type-2 master inside a subtree")

@@ -28,9 +28,10 @@ unit tests (``scale < 1``) and the benchmark harness (``scale = 1``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
+from repro.registry import Registry
 from repro.sparse import (
     SparsePattern,
     circuit_pattern,
@@ -150,7 +151,12 @@ def _xenon2_like(scale: float) -> SparsePattern:
     return grid_3d(d, d, max(3, d - 2), stencil=7, symmetric=False, name="XENON2")
 
 
-PROBLEMS: dict[str, ProblemSpec] = {
+#: The problem registry (a case-insensitive Mapping; names are the paper's
+#: matrix names, upper-case).  ``PROBLEMS["xenon2"]`` and ``"XENON2" in
+#: PROBLEMS`` both work; new workloads are added with ``PROBLEMS.add``.
+PROBLEMS: Registry[ProblemSpec] = Registry("problem", normalize=str.upper)
+
+for _spec in {
     "BMWCRA_1": ProblemSpec(
         name="BMWCRA_1",
         symmetric=True,
@@ -223,15 +229,16 @@ PROBLEMS: dict[str, ProblemSpec] = {
         builder=_xenon2_like,
         split_threshold=60_000,
     ),
-}
+}.values():
+    PROBLEMS.add(_spec.name, _spec, description=_spec.description)
 
 SYMMETRIC_PROBLEMS = [name for name, spec in PROBLEMS.items() if spec.symmetric]
 UNSYMMETRIC_PROBLEMS = [name for name, spec in PROBLEMS.items() if not spec.symmetric]
 
 
 def get_problem(name: str) -> ProblemSpec:
-    """Look up a problem by its (paper) name, case-insensitively."""
-    key = name.upper()
-    if key not in PROBLEMS:
-        raise ValueError(f"unknown problem {name!r}; expected one of {sorted(PROBLEMS)}")
-    return PROBLEMS[key]
+    """Look up a problem by its (paper) name, case-insensitively.
+
+    Unknown names raise ``ValueError`` with a did-you-mean suggestion.
+    """
+    return PROBLEMS.get(name)

@@ -1,31 +1,23 @@
 """Experiment runner: (problem × ordering × splitting × strategy) → metrics.
 
-This module is a thin, backwards-compatible façade over the staged pipeline
-engine (:mod:`repro.pipeline`).  The engine owns the stage chain and the
-content-addressed artifact store; the runner translates the historical
-call-style (``run_case("XENON2", "metis", "memory-full")``) into
-:class:`~repro.pipeline.CaseSpec` values and adds the sweep entry points the
-tables and the CLI are built on, including parallel execution via
-:class:`~repro.pipeline.SweepExecutor` (``jobs > 1``).
+This module is the backwards-compatible shim kept for the historical
+call-style (``run_case("XENON2", "metis", "memory-full")``,
+``sweep(problems, orderings, strategies)``).  All the machinery lives in
+:class:`repro.session.Session` (engine + executor + declarative sweeps);
+:class:`ExperimentRunner` subclasses it and translates positional arguments
+into :class:`~repro.pipeline.CaseSpec` values.  New code should use
+:func:`repro.open_session` — see ``docs/api.md`` for the migration notes.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional
 
-import numpy as np
-
-from repro.pipeline import (
-    AnalysisPipeline,
-    AnalysisProducts,
-    CaseResult,
-    CaseSpec,
-    ProgressEvent,
-    SweepExecutor,
-)
+from repro.pipeline import AnalysisProducts, CaseResult, CaseSpec, ProgressEvent
 from repro.runtime import SimulationConfig
+from repro.session import Session, percentage_decrease
 
 __all__ = [
     "ExperimentRunner",
@@ -40,19 +32,8 @@ __all__ = [
 ORDERING_NAMES = ["metis", "pord", "amd", "amf"]
 
 
-def percentage_decrease(baseline: float, improved: float) -> float:
-    """Percentage decrease of ``improved`` with respect to ``baseline``.
-
-    Positive values mean the improved strategy uses *less* memory, matching
-    the sign convention of Tables 2, 3 and 5 of the paper.
-    """
-    if baseline <= 0:
-        return 0.0
-    return 100.0 * (baseline - improved) / baseline
-
-
-class ExperimentRunner:
-    """Run and cache the evaluation cases.
+class ExperimentRunner(Session):
+    """Run and cache the evaluation cases (historical façade).
 
     Parameters
     ----------
@@ -87,31 +68,18 @@ class ExperimentRunner:
         jobs: int = 1,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
     ) -> None:
-        self.engine = AnalysisPipeline(
+        super().__init__(
             nprocs=nprocs,
             scale=scale,
             config=config,
             cache_dir=cache_dir,
             amalgamation_relax=amalgamation_relax,
             amalgamation_min_pivots=amalgamation_min_pivots,
+            jobs=jobs,
+            progress=progress,
         )
-        self.jobs = int(jobs)
-        self.progress = progress
-        self._executor: Optional[SweepExecutor] = None
 
     # -- engine attribute passthroughs (kept for callers of the old API) -- #
-    @property
-    def config(self) -> SimulationConfig:
-        return self.engine.config
-
-    @property
-    def nprocs(self) -> int:
-        return self.engine.nprocs
-
-    @property
-    def scale(self) -> float:
-        return self.engine.scale
-
     @property
     def cache_dir(self) -> Optional[Path]:
         return Path(self.engine.cache_dir) if self.engine.cache_dir else None
@@ -125,20 +93,7 @@ class ExperimentRunner:
         return self.engine.amalgamation_min_pivots
 
     # ------------------------------------------------------------------ #
-    # cached pipeline stages
-    # ------------------------------------------------------------------ #
-    def pattern(self, problem: str):
-        return self.engine.pattern(problem)
-
-    def ordering(self, problem: str, ordering: str) -> np.ndarray:
-        return self.engine.ordering(problem, ordering)
-
-    def analysis(self, problem: str, ordering: str, *, split: bool) -> AnalysisProducts:
-        """Pattern → ordering → assembly tree → (splitting) → static mapping."""
-        return self.engine.analysis(problem, ordering, split=split)
-
-    # ------------------------------------------------------------------ #
-    # simulation
+    # simulation (historical call-style)
     # ------------------------------------------------------------------ #
     def run_case(
         self,
@@ -150,7 +105,7 @@ class ExperimentRunner:
         track_traces: bool = False,
     ) -> CaseResult:
         """Run one full case and return its metrics."""
-        return self.engine.run_case(
+        return self.run(
             CaseSpec(
                 problem=problem,
                 ordering=ordering,
@@ -159,57 +114,6 @@ class ExperimentRunner:
                 track_traces=track_traces,
             )
         )
-
-    def compare(
-        self,
-        problem: str,
-        ordering: str,
-        *,
-        baseline: str = "mumps-workload",
-        candidate: str = "memory-full",
-        split_baseline: bool = False,
-        split_candidate: bool = False,
-    ) -> dict[str, float]:
-        """Percentage decrease of the max stack peak of ``candidate`` vs ``baseline``."""
-        base = self.run_case(problem, ordering, baseline, split=split_baseline)
-        cand = self.run_case(problem, ordering, candidate, split=split_candidate)
-        return {
-            "baseline_peak": base.max_peak_stack,
-            "candidate_peak": cand.max_peak_stack,
-            "gain_percent": percentage_decrease(base.max_peak_stack, cand.max_peak_stack),
-            "baseline_time": base.total_time,
-            "candidate_time": cand.total_time,
-            "time_loss_percent": (
-                100.0 * (cand.total_time - base.total_time) / base.total_time
-                if base.total_time > 0
-                else 0.0
-            ),
-        }
-
-    # ------------------------------------------------------------------ #
-    # sweeps
-    # ------------------------------------------------------------------ #
-    def run_cases(self, specs: Sequence[CaseSpec], *, jobs: int | None = None) -> list[CaseResult]:
-        """Run explicit cases (serially or across a process pool, see ``jobs``).
-
-        Runs at the runner's own job count share one long-lived executor, so
-        consecutive sweeps (e.g. the tables of ``repro all``) reuse the same
-        worker processes and the artifacts they hold; an explicit ``jobs``
-        override gets a transient executor that is torn down afterwards.
-        """
-        jobs = self.jobs if jobs is None else int(jobs)
-        if jobs == self.jobs:
-            if self._executor is None:
-                self._executor = SweepExecutor(self.engine, jobs=jobs, progress=self.progress)
-            return self._executor.run(specs)
-        with SweepExecutor(self.engine, jobs=jobs, progress=self.progress) as executor:
-            return executor.run(specs)
-
-    def close(self) -> None:
-        """Shut down the sweep worker pool, if one was started."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
 
     def sweep(
         self,
@@ -224,7 +128,9 @@ class ExperimentRunner:
 
         Results come back in cartesian-product order (problem-major) whatever
         the execution order was, so the parallel path is a drop-in for the
-        serial one.
+        serial one.  (:meth:`Session.sweep` accepts the richer declarative
+        :class:`~repro.specs.SweepSpec` grids; this signature is the
+        historical one.)
         """
         specs = [
             CaseSpec(problem=problem, ordering=ordering, strategy=strategy, split=split)

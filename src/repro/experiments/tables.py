@@ -27,9 +27,10 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from repro.experiments.problems import PROBLEMS, SYMMETRIC_PROBLEMS, UNSYMMETRIC_PROBLEMS, get_problem
+from repro.experiments.problems import PROBLEMS, UNSYMMETRIC_PROBLEMS, get_problem
 from repro.experiments.runner import ORDERING_NAMES, ExperimentRunner, percentage_decrease
 from repro.pipeline import CaseResult, CaseSpec
+from repro.registry import Registry
 
 __all__ = [
     "table1",
@@ -196,14 +197,22 @@ def table6(
     return rows
 
 
-ALL_TABLES = {
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "table4": table4,
-    "table5": table5,
-    "table6": table6,
-}
+#: Registry of the table generators (a Mapping: ``ALL_TABLES["table2"]``).
+#: ``params`` records which subset keywords each generator accepts — the CLI
+#: uses it to thread ``--problems`` / ``--orderings`` only where supported.
+ALL_TABLES: Registry = Registry("table")
+ALL_TABLES.add("table1", table1, description="The test problems (analogue sizes vs. the paper's)",
+               params={"problems": None})
+ALL_TABLES.add("table2", table2, description="% decrease of max stack peak, memory vs. workload",
+               params={"problems": None, "orderings": None})
+ALL_TABLES.add("table3", table3, description="Same comparison on statically split trees",
+               params={"problems": None, "orderings": None})
+ALL_TABLES.add("table4", table4, description="Absolute peaks for two illustrative cases",
+               params={"cases": None})
+ALL_TABLES.add("table5", table5, description="Memory strategy + splitting vs. original MUMPS",
+               params={"problems": None, "orderings": None})
+ALL_TABLES.add("table6", table6, description="Factorization-time loss of the memory strategy",
+               params={"problems": None, "orderings": None})
 
 
 def format_table(rows: Mapping[str, Mapping[str, object]], *, title: str = "") -> str:

@@ -9,12 +9,16 @@ extra baseline) behind a single registry:
 >>> perm = compute_ordering(pattern, "metis")
 
 Registry names follow the paper's column labels: ``"metis"``, ``"pord"``,
-``"amd"``, ``"amf"`` (and ``"rcm"``, ``"natural"``).
+``"amd"``, ``"amf"`` (and ``"rcm"``, ``"natural"``).  Orderings accept
+keyword parameters, either directly or through the spec mini-language::
+
+    compute_ordering(pattern, "metis", leaf_size=32)
+    compute_ordering(pattern, "metis(leaf_size=32)")   # equivalent
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
 import numpy as np
 
@@ -24,7 +28,9 @@ from repro.ordering.nested_dissection import nested_dissection_ordering
 from repro.ordering.pord import pord_ordering
 from repro.ordering.quotient_graph import greedy_ordering, EliminationGraph
 from repro.ordering.rcm import rcm_ordering
+from repro.registry import Registry
 from repro.sparse.pattern import SparsePattern
+from repro.specs import ParamSpec
 
 __all__ = [
     "amd_ordering",
@@ -36,6 +42,8 @@ __all__ = [
     "EliminationGraph",
     "ORDERINGS",
     "compute_ordering",
+    "resolve_ordering",
+    "canonical_ordering",
     "is_permutation",
 ]
 
@@ -44,26 +52,68 @@ def _natural(pattern: SparsePattern, **_kwargs) -> np.ndarray:
     return np.arange(pattern.n, dtype=np.int64)
 
 
-ORDERINGS: Dict[str, Callable[..., np.ndarray]] = {
-    "metis": nested_dissection_ordering,
-    "pord": pord_ordering,
-    "amd": amd_ordering,
-    "amf": amf_ordering,
-    "rcm": rcm_ordering,
-    "natural": _natural,
-}
+ORDERINGS: Registry[Callable[..., np.ndarray]] = Registry("ordering")
+ORDERINGS.add(
+    "metis",
+    nested_dissection_ordering,
+    description="Recursive nested dissection (METIS analogue)",
+    params={"leaf_size": 64, "balance": 0.5, "leaf_method": "degree", "seed": 0, "handle_hubs": True},
+)
+ORDERINGS.add(
+    "pord",
+    pord_ordering,
+    description="Hybrid multisection (PORD analogue)",
+    params={"nd_levels": 4, "leaf_size": 48, "balance": 0.45, "seed": 0},
+)
+ORDERINGS.add(
+    "amd",
+    amd_ordering,
+    description="Approximate minimum degree",
+    params={"seed": 0},
+)
+ORDERINGS.add(
+    "amf",
+    amf_ordering,
+    description="Approximate minimum fill",
+    params={"seed": 0},
+)
+ORDERINGS.add("rcm", rcm_ordering, description="Reverse Cuthill-McKee (extra baseline)")
+ORDERINGS.add("natural", _natural, description="Identity permutation (no reordering)")
+
+
+def resolve_ordering(spec: str | ParamSpec) -> tuple[str, dict[str, object]]:
+    """Parse an ordering spec into (registry name, bound parameters).
+
+    Validates parameter names against the registry's declared ``params`` so a
+    typo fails before any analysis runs.
+    """
+    entry, params = ORDERINGS.resolve(spec)
+    return entry.name, params
+
+
+def canonical_ordering(spec: str | ParamSpec) -> str:
+    """Canonical spec string of an ordering, with the declared defaults bound.
+
+    ``"metis"`` and ``"METIS(leaf_size=64)"`` canonicalise identically, so
+    equivalent spellings share pipeline cache keys while any genuinely
+    different parameterisation gets its own.
+    """
+    name, params = resolve_ordering(spec)
+    declared = ORDERINGS.entry(name).params
+    return ParamSpec(name, tuple(params.items())).with_defaults(declared).canonical()
 
 
 def compute_ordering(pattern: SparsePattern, method: str, **kwargs) -> np.ndarray:
     """Compute the ordering ``method`` for ``pattern``.
 
-    ``method`` is one of the registry names (case-insensitive).  Extra
-    keyword arguments are forwarded to the underlying algorithm.
+    ``method`` is one of the registry names (case-insensitive), optionally
+    carrying mini-language parameters (``"metis(leaf_size=32)"``).  Extra
+    keyword arguments are merged in (explicit kwargs win) and forwarded to
+    the underlying algorithm.
     """
-    key = method.lower()
-    if key not in ORDERINGS:
-        raise ValueError(f"unknown ordering {method!r}; expected one of {sorted(ORDERINGS)}")
-    return ORDERINGS[key](pattern, **kwargs)
+    name, params = resolve_ordering(method)
+    fn = ORDERINGS[name]
+    return fn(pattern, **{**params, **kwargs})
 
 
 def is_permutation(perm: np.ndarray, n: int) -> bool:

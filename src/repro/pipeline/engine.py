@@ -29,12 +29,7 @@ __all__ = ["PipelineSettings", "AnalysisPipeline"]
 
 
 def _default_config(nprocs: int) -> SimulationConfig:
-    return SimulationConfig(
-        nprocs=nprocs,
-        type2_front_threshold=96,
-        type2_cb_threshold=24,
-        type3_front_threshold=256,
-    )
+    return SimulationConfig.paper(nprocs)
 
 
 @dataclass(frozen=True)
@@ -122,6 +117,23 @@ class AnalysisPipeline:
         )
 
     # ------------------------------------------------------------------ #
+    # per-case effective parameters (spec overrides beat engine defaults)
+    # ------------------------------------------------------------------ #
+    def effective_nprocs(self, spec: CaseSpec) -> int:
+        """Processor count of one case: its override, else the engine's."""
+        return self.nprocs if spec.nprocs is None else int(spec.nprocs)
+
+    def effective_scale(self, spec: CaseSpec) -> float:
+        """Problem scale of one case: its override, else the engine's."""
+        return self.scale if spec.scale is None else float(spec.scale)
+
+    def effective_config(self, spec: CaseSpec) -> SimulationConfig:
+        """The engine config with the case's ``nprocs`` override applied."""
+        if spec.nprocs is None or spec.nprocs == self.config.nprocs:
+            return self.config
+        return self.config.replace(nprocs=int(spec.nprocs))
+
+    # ------------------------------------------------------------------ #
     # stage resolution
     # ------------------------------------------------------------------ #
     def stage_key(self, stage_name: str, spec: CaseSpec) -> str:
@@ -170,14 +182,19 @@ class AnalysisPipeline:
         return self.artifact("mapping", self._spec(problem, ordering, split=split))
 
     def analysis(self, problem: str, ordering: str, *, split: bool = False) -> AnalysisProducts:
+        """The bundled analysis phase of a case at the engine defaults."""
+        return self.analysis_for(self._spec(problem, ordering, split=split))
+
+    def analysis_for(self, spec: CaseSpec) -> AnalysisProducts:
         """The bundled analysis phase (everything upstream of the simulation).
 
         The bundle itself is a derived artifact: cached in memory (so repeated
         calls return the same object) and persisted to the disk tier as one
         ``analysis-*.pkl`` file, which is what a fresh process or a sweep
-        worker loads to skip the whole analysis phase in one read.
+        worker loads to skip the whole analysis phase in one read.  The
+        spec's per-case overrides flow into the underlying stage keys, so
+        every (scale, nprocs, threshold) variant is its own bundle.
         """
-        spec = self._spec(problem, ordering, split=split)
         split_key = self.stage_key("split", spec)
         mapping_key = self.stage_key("mapping", spec)
         key = content_key("analysis", "1", {}, (split_key, mapping_key))
@@ -199,13 +216,15 @@ class AnalysisPipeline:
         from repro.pipeline.stages import _get_problem  # lazy (import cycle)
 
         split_art = self.artifact("split", spec)
-        prob = _get_problem(problem)
+        prob = _get_problem(spec.problem)
         products = AnalysisProducts(
             problem=prob.name,
-            ordering=ordering,
-            scale=self.scale,
-            split=bool(split),
-            split_threshold=prob.split_threshold,
+            ordering=spec.ordering,
+            scale=self.effective_scale(spec),
+            split=bool(spec.split),
+            split_threshold=(
+                prob.split_threshold if spec.split_threshold is None else int(spec.split_threshold)
+            ),
             tree=split_art.tree,
             mapping=self.artifact("mapping", spec),
             nodes_split=split_art.nodes_split,
@@ -222,6 +241,6 @@ class AnalysisPipeline:
 
     def run_case(self, spec: CaseSpec) -> CaseResult:
         """Run one full case and return its metrics."""
-        analysis = self.analysis(spec.problem, spec.ordering, split=spec.split)
+        analysis = self.analysis_for(spec)
         result = self.simulate(spec)
         return CaseResult.from_simulation(analysis, spec.strategy, result)

@@ -19,8 +19,8 @@ never cache anything themselves.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar, Mapping
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, ClassVar, Mapping, Optional
 
 import numpy as np
 
@@ -40,8 +40,15 @@ class CaseSpec:
     """One point of the (problem × ordering × splitting × strategy) product.
 
     Frozen and hashable so it can be used as a grouping key and shipped to
-    sweep workers; everything else that influences a case (scale, processor
-    count, machine model, …) lives in the engine configuration.
+    sweep workers.  ``ordering`` and ``strategy`` are spec strings and may
+    carry parameters in the mini-language of :mod:`repro.specs`
+    (``"hybrid(alpha=0.3)"``); the pipeline cache keys canonicalise them, so
+    distinct parameterisations never share a cached artifact.
+
+    ``nprocs`` / ``scale`` / ``split_threshold`` are per-case overrides of
+    the engine defaults (``None`` = use the engine's value), which is what
+    lets one sweep vary the processor count — the paper's "gain vs. number
+    of processors" axis — through a single shared executor.
     """
 
     problem: str
@@ -49,15 +56,60 @@ class CaseSpec:
     strategy: str = "memory-full"
     split: bool = False
     track_traces: bool = False
+    nprocs: Optional[int] = None
+    scale: Optional[float] = None
+    split_threshold: Optional[int] = None
 
     def label(self) -> str:
         """Short human-readable tag used by progress reporting."""
-        split = "+split" if self.split else ""
-        return f"{self.problem}/{self.ordering}/{self.strategy}{split}"
+        parts = [f"{self.problem}/{self.ordering}/{self.strategy}"]
+        if self.split:
+            parts.append("+split")
+        if self.nprocs is not None:
+            parts.append(f"@np{self.nprocs}")
+        if self.scale is not None:
+            parts.append(f"@x{self.scale:g}")
+        return "".join(parts)
 
     def analysis_signature(self) -> tuple:
-        """Grouping key: cases with equal signatures share their analysis."""
-        return (self.problem, self.ordering, self.split)
+        """Grouping key: cases with equal signatures share their analysis.
+
+        The per-case overrides extend the historical (problem, ordering,
+        split) triple only when set, so specs without overrides keep their
+        seed-era signatures.
+        """
+        signature: tuple = (self.problem, self.ordering, self.split)
+        for name in ("nprocs", "scale", "split_threshold"):
+            value = getattr(self, name)
+            if value is not None:
+                signature += ((name, value),)
+        return signature
+
+    def overrides(self) -> dict[str, object]:
+        """The per-case engine overrides that are actually set."""
+        return {
+            name: getattr(self, name)
+            for name in ("nprocs", "scale", "split_threshold")
+            if getattr(self, name) is not None
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form; non-default fields only."""
+        data: dict[str, object] = {"problem": self.problem, "ordering": self.ordering}
+        defaults = {f.name: f.default for f in fields(self)}
+        for name in ("strategy", "split", "track_traces", "nprocs", "scale", "split_threshold"):
+            value = getattr(self, name)
+            if value != defaults[name]:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CaseSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CaseSpec fields {sorted(unknown)}; expected {sorted(known)}")
+        return cls(**data)  # type: ignore[arg-type]
 
 
 class Stage(ABC):
@@ -153,3 +205,30 @@ class CaseResult:
             nodes_split=analysis.nodes_split,
             messages=int(sum(result.message_counts.values())),
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the per-processor peaks become a plain list)."""
+        return {
+            "problem": self.problem,
+            "ordering": self.ordering,
+            "strategy": self.strategy,
+            "split": self.split,
+            "nprocs": self.nprocs,
+            "max_peak_stack": float(self.max_peak_stack),
+            "avg_peak_stack": float(self.avg_peak_stack),
+            "sum_peak_stack": float(self.sum_peak_stack),
+            "total_time": float(self.total_time),
+            "total_factor_entries": float(self.total_factor_entries),
+            "per_proc_peak_stack": [float(x) for x in self.per_proc_peak_stack],
+            "nodes": self.nodes,
+            "nodes_split": self.nodes_split,
+            "messages": self.messages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CaseResult":
+        payload = dict(data)
+        payload["per_proc_peak_stack"] = np.asarray(
+            payload.get("per_proc_peak_stack", ()), dtype=np.float64
+        )
+        return cls(**payload)  # type: ignore[arg-type]

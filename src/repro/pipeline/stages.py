@@ -9,6 +9,12 @@ output, so the engine's content-addressed keys invalidate precisely what a
 parameter change actually affects — changing the strategy re-runs only the
 simulation, changing the amalgamation re-runs everything from the tree down,
 and so on.
+
+Ordering and strategy parameters from the spec mini-language
+(``"hybrid(alpha=0.3)"``) enter the keys in *canonical* form with defaults
+bound, so equivalent spellings share artifacts while distinct
+parameterisations never collide; the per-case ``nprocs`` / ``scale`` /
+``split_threshold`` overrides enter through the stages they affect.
 """
 
 from __future__ import annotations
@@ -16,10 +22,10 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.mapping import compute_mapping
-from repro.ordering import compute_ordering
+from repro.ordering import canonical_ordering, compute_ordering
 from repro.pipeline.stage import CaseSpec, SplitArtifact, Stage
-from repro.runtime import FactorizationSimulator, SimulationConfig
-from repro.scheduling import get_strategy
+from repro.runtime import FactorizationSimulator
+from repro.scheduling import canonical_strategy, resolve_strategy
 from repro.symbolic import build_assembly_tree, split_large_masters
 
 def _get_problem(name: str):
@@ -49,10 +55,10 @@ class PatternStage(Stage):
     persist = False  # deterministic and fast to regenerate
 
     def params(self, engine, spec: CaseSpec) -> dict[str, object]:
-        return {"problem": _get_problem(spec.problem).name, "scale": engine.scale}
+        return {"problem": _get_problem(spec.problem).name, "scale": engine.effective_scale(spec)}
 
     def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
-        return _get_problem(spec.problem).build(engine.scale)
+        return _get_problem(spec.problem).build(engine.effective_scale(spec))
 
 
 class OrderingStage(Stage):
@@ -63,7 +69,9 @@ class OrderingStage(Stage):
     persist = True  # the orderings dominate the analysis cost on big problems
 
     def params(self, engine, spec: CaseSpec) -> dict[str, object]:
-        return {"ordering": spec.ordering}
+        # canonical form, defaults bound: "metis" and "METIS(leaf_size=64)"
+        # address the same artifact, "metis(leaf_size=32)" its own
+        return {"ordering": canonical_ordering(spec.ordering)}
 
     def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
         return compute_ordering(upstream["pattern"], spec.ordering)
@@ -101,7 +109,10 @@ class SplitStage(Stage):
     persist = False
 
     def threshold(self, engine, spec: CaseSpec) -> int:
-        return max(int(_get_problem(spec.problem).split_threshold * engine.scale), 1_000)
+        if spec.split_threshold is not None:
+            return int(spec.split_threshold)
+        base = _get_problem(spec.problem).split_threshold
+        return max(int(base * engine.effective_scale(spec)), 1_000)
 
     def params(self, engine, spec: CaseSpec) -> dict[str, object]:
         params: dict[str, object] = {"split": bool(spec.split)}
@@ -126,28 +137,13 @@ class MappingStage(Stage):
     persist = False
 
     def params(self, engine, spec: CaseSpec) -> dict[str, object]:
-        cfg = engine.config
-        return {
-            "nprocs": engine.nprocs,
-            "type2_front_threshold": cfg.type2_front_threshold,
-            "type2_cb_threshold": cfg.type2_cb_threshold,
-            "type3_front_threshold": cfg.type3_front_threshold,
-            "imbalance_tolerance": cfg.imbalance_tolerance,
-            "min_subtrees_per_proc": cfg.min_subtrees_per_proc,
-            "subtree_cost": cfg.subtree_cost,
-        }
+        return {"nprocs": engine.effective_nprocs(spec), **engine.config.mapping_params()}
 
     def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
-        cfg = engine.config
         return compute_mapping(
             upstream["split"].tree,
-            engine.nprocs,
-            type2_front_threshold=cfg.type2_front_threshold,
-            type2_cb_threshold=cfg.type2_cb_threshold,
-            type3_front_threshold=cfg.type3_front_threshold,
-            imbalance_tolerance=cfg.imbalance_tolerance,
-            min_subtrees_per_proc=cfg.min_subtrees_per_proc,
-            subtree_cost=cfg.subtree_cost,
+            engine.effective_nprocs(spec),
+            **engine.config.mapping_params(),
         )
 
 
@@ -165,18 +161,18 @@ class SimulationStage(Stage):
 
     def params(self, engine, spec: CaseSpec) -> dict[str, object]:
         # the full machine model matters here (rates, latencies, …), not just
-        # the mapping thresholds, so hash every config field
-        params = dict(engine.config.__dict__)
-        params["strategy"] = get_strategy(spec.strategy).name
+        # the mapping thresholds, so hash every config field; the strategy
+        # enters in canonical form with its parameters bound, so e.g. a
+        # hybrid(alpha=0.3) result can never be addressed by the alpha=0.5 key
+        params = dict(engine.effective_config(spec).__dict__)
+        params["strategy"] = canonical_strategy(spec.strategy)
         params["track_traces"] = bool(spec.track_traces)
         return params
 
     def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
-        preset = get_strategy(spec.strategy)
-        slave_selector, task_selector = preset.build()
-        config = SimulationConfig(
-            **{**engine.config.__dict__, "track_traces": bool(spec.track_traces)}
-        )
+        preset, strategy_params = resolve_strategy(spec.strategy)
+        slave_selector, task_selector = preset.build(**strategy_params)
+        config = engine.effective_config(spec).replace(track_traces=bool(spec.track_traces))
         sim = FactorizationSimulator(
             upstream["split"].tree,
             config=config,

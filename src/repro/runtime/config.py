@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-__all__ = ["SimulationConfig"]
+__all__ = [
+    "SimulationConfig",
+    "PAPER_TYPE2_FRONT_THRESHOLD",
+    "PAPER_TYPE2_CB_THRESHOLD",
+    "PAPER_TYPE3_FRONT_THRESHOLD",
+]
+
+#: Node-type thresholds used throughout the paper's experiments (scaled to
+#: the synthetic analogues).  Shared by :meth:`SimulationConfig.paper`, the
+#: pipeline engine's default config and the one-call ``repro.simulate``.
+PAPER_TYPE2_FRONT_THRESHOLD = 96
+PAPER_TYPE2_CB_THRESHOLD = 24
+PAPER_TYPE3_FRONT_THRESHOLD = 256
 
 
 @dataclass
@@ -72,6 +84,38 @@ class SimulationConfig:
             raise ValueError("min_rows_per_slave must be >= 1")
         if self.max_slaves_per_node < 0:
             raise ValueError("max_slaves_per_node must be >= 0")
+
+    @classmethod
+    def paper(cls, nprocs: int = 32, **overrides) -> "SimulationConfig":
+        """The experiment defaults: paper node-type thresholds at ``nprocs``.
+
+        This is the single home of the 96/24/256 thresholds the tables,
+        the pipeline engine and :func:`repro.simulate` all run with;
+        ``overrides`` replace any other field.
+        """
+        params: dict[str, object] = {
+            "nprocs": nprocs,
+            "type2_front_threshold": PAPER_TYPE2_FRONT_THRESHOLD,
+            "type2_cb_threshold": PAPER_TYPE2_CB_THRESHOLD,
+            "type3_front_threshold": PAPER_TYPE3_FRONT_THRESHOLD,
+        }
+        params.update(overrides)
+        return cls(**params)  # type: ignore[arg-type]
+
+    def replace(self, **overrides) -> "SimulationConfig":
+        """A copy of this config with ``overrides`` applied."""
+        return SimulationConfig(**{**self.__dict__, **overrides})
+
+    def mapping_params(self) -> dict[str, object]:
+        """The keyword arguments this config implies for ``compute_mapping``."""
+        return {
+            "type2_front_threshold": self.type2_front_threshold,
+            "type2_cb_threshold": self.type2_cb_threshold,
+            "type3_front_threshold": self.type3_front_threshold,
+            "imbalance_tolerance": self.imbalance_tolerance,
+            "min_subtrees_per_proc": self.min_subtrees_per_proc,
+            "subtree_cost": self.subtree_cost,
+        }
 
     def effective_max_slaves(self) -> int:
         """Largest number of slaves a type-2 node may use."""

@@ -25,7 +25,13 @@ from repro.scheduling.workload import WorkloadSlaveSelector
 from repro.scheduling.memory_slave import MemorySlaveSelector
 from repro.scheduling.task_selection import LifoTaskSelector, MemoryAwareTaskSelector, FifoTaskSelector
 from repro.scheduling.hybrid import HybridSlaveSelector
-from repro.scheduling.presets import STRATEGIES, SchedulingStrategy, get_strategy
+from repro.scheduling.presets import (
+    STRATEGIES,
+    SchedulingStrategy,
+    canonical_strategy,
+    get_strategy,
+    resolve_strategy,
+)
 
 __all__ = [
     "SlaveSelector",
@@ -42,4 +48,6 @@ __all__ = [
     "STRATEGIES",
     "SchedulingStrategy",
     "get_strategy",
+    "resolve_strategy",
+    "canonical_strategy",
 ]

@@ -1,0 +1,246 @@
+"""The :class:`Session` façade: declarative scenario runs over one engine.
+
+A session owns an :class:`~repro.pipeline.engine.AnalysisPipeline` (the
+content-addressed artifact store) and a lazily started
+:class:`~repro.pipeline.executor.SweepExecutor` (long-lived worker processes
+when ``jobs > 1``).  Everything it runs is declared as plain data — a
+:class:`~repro.pipeline.stage.CaseSpec`, a dict, or a
+:class:`~repro.specs.SweepSpec` grid — so the same session serves one-off
+comparisons, the paper's tables and machine-scale sweeps that vary strategy
+parameters *and* processor counts in a single call::
+
+    with repro.open_session(nprocs=32, scale=0.5, jobs=4) as session:
+        results = session.sweep(
+            problems=["XENON2", "PRE2"],
+            strategies=["hybrid(alpha=0.25)", "hybrid(alpha=0.5)", "hybrid(alpha=0.75)"],
+            nprocs=[8, 16, 32],
+        )
+        payload = [r.to_dict() for r in results]       # JSON-ready
+
+Results come back in grid order whatever the execution order was, so serial
+and parallel runs are bit-identical.  The historical
+:class:`~repro.experiments.runner.ExperimentRunner` is a thin shim over this
+class.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.pipeline import (
+    AnalysisPipeline,
+    AnalysisProducts,
+    CaseResult,
+    CaseSpec,
+    ProgressEvent,
+    SweepExecutor,
+)
+from repro.runtime import SimulationConfig
+from repro.specs import SweepSpec
+
+__all__ = ["Session", "open_session", "percentage_decrease", "CaseLike"]
+
+
+def percentage_decrease(baseline: float, improved: float) -> float:
+    """Percentage decrease of ``improved`` with respect to ``baseline``.
+
+    Positive values mean the improved strategy uses *less* memory, matching
+    the sign convention of Tables 2, 3 and 5 of the paper.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+#: Anything :meth:`Session.run` accepts as one case.
+CaseLike = Union[CaseSpec, Mapping[str, object]]
+
+
+def _as_spec(case: CaseLike) -> CaseSpec:
+    if isinstance(case, CaseSpec):
+        return case
+    if isinstance(case, Mapping):
+        return CaseSpec.from_dict(case)
+    raise TypeError(f"expected a CaseSpec or a mapping, got {type(case).__name__}")
+
+
+class Session:
+    """Run declarative scenario specs against one shared engine.
+
+    Parameters
+    ----------
+    nprocs:
+        Default number of simulated processors (cases may override).
+    scale:
+        Default problem scale factor (cases may override).
+    config:
+        Base :class:`SimulationConfig`; ``nprocs`` is overridden by the
+        session's value.  Defaults to :meth:`SimulationConfig.paper`.
+    cache_dir:
+        Directory for the on-disk artifact store (``None`` honours the
+        ``REPRO_CACHE_DIR`` environment variable, ``""`` disables it).
+    jobs:
+        Default number of worker processes (1 = serial, in-process).
+    progress:
+        Optional per-case callback (receives a
+        :class:`~repro.pipeline.ProgressEvent`).
+    """
+
+    def __init__(
+        self,
+        *,
+        nprocs: int = 32,
+        scale: float = 1.0,
+        config: SimulationConfig | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        amalgamation_relax: float = 0.15,
+        amalgamation_min_pivots: int = 4,
+        jobs: int = 1,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        self.engine = AnalysisPipeline(
+            nprocs=nprocs,
+            scale=scale,
+            config=config,
+            cache_dir=cache_dir,
+            amalgamation_relax=amalgamation_relax,
+            amalgamation_min_pivots=amalgamation_min_pivots,
+        )
+        self.jobs = int(jobs)
+        self.progress = progress
+        self._executor: Optional[SweepExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the sweep worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # cached pipeline stages (convenience passthroughs)
+    # ------------------------------------------------------------------ #
+    def pattern(self, problem: str):
+        return self.engine.pattern(problem)
+
+    def ordering(self, problem: str, ordering: str) -> np.ndarray:
+        return self.engine.ordering(problem, ordering)
+
+    def analysis(self, problem: str, ordering: str, *, split: bool = False) -> AnalysisProducts:
+        """Pattern → ordering → assembly tree → (splitting) → static mapping."""
+        return self.engine.analysis(problem, ordering, split=split)
+
+    # ------------------------------------------------------------------ #
+    # cases
+    # ------------------------------------------------------------------ #
+    def run(self, case: CaseLike) -> CaseResult:
+        """Run one declarative case (a :class:`CaseSpec` or its dict form)."""
+        return self.engine.run_case(_as_spec(case))
+
+    def run_cases(self, cases: Sequence[CaseLike], *, jobs: int | None = None) -> list[CaseResult]:
+        """Run explicit cases (serially or across a process pool, see ``jobs``).
+
+        Runs at the session's own job count share one long-lived executor, so
+        consecutive sweeps reuse the same worker processes and the artifacts
+        they hold; an explicit ``jobs`` override gets a transient executor
+        that is torn down afterwards.
+        """
+        specs = [_as_spec(case) for case in cases]
+        jobs = self.jobs if jobs is None else int(jobs)
+        if jobs == self.jobs:
+            if self._executor is None:
+                self._executor = SweepExecutor(self.engine, jobs=jobs, progress=self.progress)
+            return self._executor.run(specs)
+        with SweepExecutor(self.engine, jobs=jobs, progress=self.progress) as executor:
+            return executor.run(specs)
+
+    def sweep(
+        self,
+        spec: SweepSpec | Mapping[str, object] | None = None,
+        *,
+        jobs: int | None = None,
+        **axes,
+    ) -> list[CaseResult]:
+        """Run a declarative grid and return its results in grid order.
+
+        Accepts a :class:`~repro.specs.SweepSpec`, its dict form, or the
+        axes directly as keyword arguments::
+
+            session.sweep(problems=["XENON2"], strategies=["hybrid(alpha=0.25)"],
+                          nprocs=[8, 16, 32])
+
+        Results come back in grid order (problem-major, see
+        :meth:`SweepSpec.expand`) whatever the execution order was, so the
+        parallel path is a drop-in for the serial one.
+        """
+        if spec is None:
+            sweep_spec = SweepSpec(**axes)
+        else:
+            if axes:
+                raise TypeError("pass either a SweepSpec/dict or keyword axes, not both")
+            sweep_spec = spec if isinstance(spec, SweepSpec) else SweepSpec.from_dict(spec)
+        return self.run_cases(sweep_spec.expand(), jobs=jobs)
+
+    def compare(
+        self,
+        problem: str,
+        ordering: str = "metis",
+        *,
+        baseline: str = "mumps-workload",
+        candidate: str = "memory-full",
+        split_baseline: bool = False,
+        split_candidate: bool = False,
+    ) -> dict[str, float]:
+        """Percentage decrease of the max stack peak of ``candidate`` vs ``baseline``."""
+        base, cand = self.run_cases(
+            [
+                CaseSpec(problem, ordering, baseline, split=split_baseline),
+                CaseSpec(problem, ordering, candidate, split=split_candidate),
+            ]
+        )
+        return {
+            "baseline_peak": base.max_peak_stack,
+            "candidate_peak": cand.max_peak_stack,
+            "gain_percent": percentage_decrease(base.max_peak_stack, cand.max_peak_stack),
+            "baseline_time": base.total_time,
+            "candidate_time": cand.total_time,
+            "time_loss_percent": (
+                100.0 * (cand.total_time - base.total_time) / base.total_time
+                if base.total_time > 0
+                else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # engine attribute passthroughs
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SimulationConfig:
+        return self.engine.config
+
+    @property
+    def nprocs(self) -> int:
+        return self.engine.nprocs
+
+    @property
+    def scale(self) -> float:
+        return self.engine.scale
+
+
+def open_session(**kwargs) -> Session:
+    """Open a :class:`Session` (use as a context manager to release workers).
+
+    Keyword arguments are those of :class:`Session`; the common ones are
+    ``nprocs``, ``scale``, ``cache_dir`` and ``jobs``.
+    """
+    return Session(**kwargs)

@@ -1,0 +1,314 @@
+"""Declarative, serializable scenario specs and the spec mini-language.
+
+The paper's experiment space is a grid over problems, orderings, scheduling
+strategies, splitting and processor counts.  This module provides the
+vocabulary to declare any point (or grid) of that space as plain data:
+
+* :class:`ParamSpec` — a name plus keyword parameters, e.g. the strategy
+  ``hybrid(alpha=0.3)`` or the ordering ``metis(leaf_size=32)``;
+* :func:`parse_spec` — the CLI-friendly string form of a :class:`ParamSpec`
+  (``"hybrid(alpha=0.3, use_predictions=false)"``), round-tripping through
+  :meth:`ParamSpec.canonical`;
+* :class:`SweepSpec` — a declarative grid over every case axis (including
+  per-case ``nprocs`` / ``scale`` / ``split_threshold`` overrides), expanded
+  with :meth:`SweepSpec.expand` into the
+  :class:`~repro.pipeline.stage.CaseSpec` list a
+  :class:`~repro.session.Session` or
+  :class:`~repro.pipeline.executor.SweepExecutor` runs.
+
+Everything here is JSON round-trippable (``to_dict`` / ``from_dict``) so
+sweeps can be stored, shipped and replayed.
+
+Grammar of the mini-language::
+
+    spec   := name [ "(" [param ("," param)*] ")" ]
+    param  := key "=" value
+    name   := letters, digits, "_", "-", "."
+    value  := int | float | true | false | quoted or bare string
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.stage import CaseSpec
+
+__all__ = ["ParamSpec", "parse_spec", "split_spec_list", "format_value", "SweepSpec"]
+
+ParamValue = Union[int, float, bool, str]
+
+_NAME_RE = re.compile(r"[A-Za-z0-9_.\-]+")
+_SPEC_RE = re.compile(rf"^\s*(?P<name>{_NAME_RE.pattern})\s*(?:\((?P<params>.*)\))?\s*$", re.S)
+_KEY_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _parse_value(text: str) -> ParamValue:
+    text = text.strip()
+    if not text:
+        raise ValueError("empty parameter value")
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        raise ValueError(f"parameter value {text!r} is not allowed; omit the parameter instead")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if _NAME_RE.fullmatch(text):
+        return text  # bare word, e.g. leaf_method=fill
+    raise ValueError(f"cannot parse parameter value {text!r}")
+
+
+def format_value(value: ParamValue) -> str:
+    """Render one parameter value in its canonical mini-language form."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if _NAME_RE.fullmatch(text):
+        return text
+    # the grammar has no escape sequences: quote with whichever delimiter the
+    # value doesn't contain, so the canonical form always re-parses
+    for quote in ("'", '"'):
+        if quote not in text:
+            return quote + text + quote
+    raise ValueError(f"cannot format value {text!r}: it contains both quote characters")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """A component name plus keyword parameters, hashable and serializable.
+
+    The parameters are stored as a sorted tuple of ``(key, value)`` pairs so
+    two specs naming the same configuration compare (and hash) equal whatever
+    the keyword order was.
+    """
+
+    name: str
+    params: tuple[tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        # numbers are normalised (1.0 → 1) so specs that compare equal —
+        # Python treats 1 == 1.0 — also canonicalise (and cache-key) equally
+        def norm(value: ParamValue) -> ParamValue:
+            if isinstance(value, float) and not isinstance(value, bool) and value.is_integer():
+                return int(value)
+            return value
+
+        object.__setattr__(
+            self, "params", tuple(sorted((k, norm(v)) for k, v in self.params))
+        )
+
+    @property
+    def kwargs(self) -> dict[str, ParamValue]:
+        """The parameters as a keyword-argument dict."""
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """Canonical string form; ``parse_spec`` round-trips it."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={format_value(v)}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+    def with_defaults(self, defaults: Mapping[str, ParamValue]) -> "ParamSpec":
+        """This spec with ``defaults`` filled in for absent parameters."""
+        merged = {**defaults, **self.kwargs}
+        return ParamSpec(self.name, tuple(merged.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "params": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ParamSpec":
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ValueError(f"ParamSpec params must be a mapping, got {params!r}")
+        return cls(str(data["name"]), tuple(params.items()))  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+def _split_top_level(text: str, sep: str = ",") -> list[str]:
+    """Split on ``sep`` outside parentheses and quotes (for params and CLI lists)."""
+    parts: list[str] = []
+    depth = 0
+    quote = ""
+    current: list[str] = []
+    for ch in text:
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+        elif ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if depth != 0 or quote:
+        raise ValueError(f"unbalanced parentheses or quotes in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def split_spec_list(text: str) -> list[str]:
+    """Split a comma-separated list of specs, respecting parentheses.
+
+    ``"mumps-workload,hybrid(alpha=0.25,use_predictions=false)"`` →
+    ``["mumps-workload", "hybrid(alpha=0.25,use_predictions=false)"]``.
+    """
+    return [part.strip() for part in _split_top_level(text) if part.strip()]
+
+
+def parse_spec(text: Union[str, ParamSpec]) -> ParamSpec:
+    """Parse ``"name"`` or ``"name(k=v, ...)"`` into a :class:`ParamSpec`.
+
+    Idempotent on :class:`ParamSpec` inputs.  Raises ``ValueError`` on
+    malformed syntax, duplicate keys or unparseable values.
+    """
+    if isinstance(text, ParamSpec):
+        return text
+    match = _SPEC_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"cannot parse spec {text!r}; expected 'name' or 'name(key=value, ...)'"
+        )
+    name = match.group("name")
+    raw = match.group("params")
+    if raw is None:
+        return ParamSpec(name)
+    params: dict[str, ParamValue] = {}
+    for item in _split_top_level(raw):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        key = key.strip()
+        if not eq:
+            raise ValueError(f"parameter {item!r} in spec {text!r} must be 'key=value'")
+        if not _KEY_RE.match(key):
+            raise ValueError(f"bad parameter name {key!r} in spec {text!r}")
+        if key in params:
+            raise ValueError(f"duplicate parameter {key!r} in spec {text!r}")
+        params[key] = _parse_value(value)
+    return ParamSpec(name, tuple(params.items()))
+
+
+# --------------------------------------------------------------------------- #
+# sweeps
+# --------------------------------------------------------------------------- #
+def _axis(value: object, *, scalar_types: tuple[type, ...]) -> tuple:
+    """Normalise a sweep axis: a scalar becomes a one-element axis."""
+    if value is None or isinstance(value, scalar_types):
+        return (value,)
+    if isinstance(value, Iterable) and not isinstance(value, (str, bytes)):
+        items = tuple(value)
+        return items if items else (None,)
+    return (value,)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative grid over every case axis.
+
+    Every attribute is an axis; scalars are promoted to one-element axes, so
+    ``SweepSpec(problems="XENON2", nprocs=[8, 16, 32])`` is valid.  ``None``
+    in ``nprocs`` / ``scale`` / ``split_threshold`` means "the engine
+    default" for that case.
+
+    :meth:`expand` produces the cartesian product in problem-major order
+    (problems × orderings × strategies × split × nprocs × scale ×
+    split_threshold), the order the results come back in.
+    """
+
+    problems: Sequence[str] = ()
+    orderings: Sequence[str] = ("metis",)
+    strategies: Sequence[str] = ("memory-full",)
+    split: Sequence[bool] = (False,)
+    nprocs: Sequence[int | None] = (None,)
+    scale: Sequence[float | None] = (None,)
+    split_threshold: Sequence[int | None] = (None,)
+    track_traces: bool = False
+
+    def __post_init__(self) -> None:
+        self.problems = _axis(self.problems, scalar_types=(str,))
+        self.orderings = _axis(self.orderings, scalar_types=(str,))
+        self.strategies = _axis(self.strategies, scalar_types=(str,))
+        self.split = _axis(self.split, scalar_types=(bool,))
+        self.nprocs = _axis(self.nprocs, scalar_types=(int,))
+        self.scale = _axis(self.scale, scalar_types=(int, float))
+        self.split_threshold = _axis(self.split_threshold, scalar_types=(int,))
+        if self.problems == (None,):
+            raise ValueError("SweepSpec needs at least one problem")
+
+    def __len__(self) -> int:
+        return (
+            len(self.problems) * len(self.orderings) * len(self.strategies)
+            * len(self.split) * len(self.nprocs) * len(self.scale)
+            * len(self.split_threshold)
+        )
+
+    def expand(self) -> list["CaseSpec"]:
+        """The grid as explicit :class:`~repro.pipeline.stage.CaseSpec` values."""
+        from repro.pipeline.stage import CaseSpec  # deferred: stage imports this module
+
+        return [
+            CaseSpec(
+                problem=problem,
+                ordering=str(parse_spec(ordering)),
+                strategy=str(parse_spec(strategy)),
+                split=bool(split),
+                track_traces=self.track_traces,
+                nprocs=nprocs,
+                scale=scale,
+                split_threshold=split_threshold,
+            )
+            for problem in self.problems
+            for ordering in self.orderings
+            for strategy in self.strategies
+            for split in self.split
+            for nprocs in self.nprocs
+            for scale in self.scale
+            for split_threshold in self.split_threshold
+        ]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "problems": list(self.problems),
+            "orderings": list(self.orderings),
+            "strategies": list(self.strategies),
+            "split": list(self.split),
+            "nprocs": list(self.nprocs),
+            "scale": list(self.scale),
+            "split_threshold": list(self.split_threshold),
+            "track_traces": self.track_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SweepSpec fields {sorted(unknown)}; expected {sorted(known)}")
+        return cls(**data)  # type: ignore[arg-type]

@@ -1,0 +1,312 @@
+"""Tests for the spec mini-language, the registries and spec-aware cache keys."""
+
+import json
+
+import pytest
+
+from repro.ordering import ORDERINGS, canonical_ordering, compute_ordering, resolve_ordering
+from repro.pipeline import AnalysisPipeline, CaseSpec
+from repro.registry import Registry
+from repro.scheduling import (
+    STRATEGIES,
+    canonical_strategy,
+    get_strategy,
+    resolve_strategy,
+)
+from repro.scheduling.hybrid import HybridSlaveSelector
+from repro.specs import ParamSpec, SweepSpec, parse_spec, split_spec_list
+
+
+# --------------------------------------------------------------------------- #
+# parse_spec
+# --------------------------------------------------------------------------- #
+class TestParseSpec:
+    def test_bare_name(self):
+        spec = parse_spec("memory-full")
+        assert spec.name == "memory-full"
+        assert spec.params == ()
+        assert spec.canonical() == "memory-full"
+
+    def test_params_of_every_type(self):
+        spec = parse_spec("hybrid(alpha=0.3, use_predictions=false, seed=7, mode=greedy)")
+        assert spec.kwargs == {
+            "alpha": 0.3,
+            "use_predictions": False,
+            "seed": 7,
+            "mode": "greedy",
+        }
+        assert isinstance(spec.kwargs["seed"], int)
+        assert isinstance(spec.kwargs["alpha"], float)
+
+    def test_roundtrip_string_object_string(self):
+        for text in (
+            "memory-full",
+            "hybrid(alpha=0.3)",
+            "hybrid(alpha=0.25,use_predictions=false)",
+            "metis(balance=0.5,leaf_method=degree,leaf_size=32)",
+        ):
+            spec = parse_spec(text)
+            assert parse_spec(spec.canonical()) == spec
+            assert spec.canonical() == text.replace(" ", "")
+
+    def test_param_order_is_canonicalised(self):
+        a = parse_spec("hybrid(alpha=0.3, use_predictions=true)")
+        b = parse_spec("hybrid(use_predictions=true, alpha=0.3)")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.canonical() == b.canonical()
+
+    def test_idempotent_on_paramspec(self):
+        spec = parse_spec("hybrid(alpha=0.3)")
+        assert parse_spec(spec) is spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "hybrid(",
+            "hybrid(alpha)",
+            "hybrid(alpha=0.3))",
+            "hybrid(alpha=0.3,alpha=0.4)",
+            "hy brid",
+            "hybrid(=3)",
+            "hybrid(alpha=)",
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_spec(bad)
+
+    def test_to_dict_roundtrip(self):
+        spec = parse_spec("hybrid(alpha=0.3)")
+        clone = ParamSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_equal_values_canonicalise_equally(self):
+        # 1 == 1.0 in Python, so the canonical (cache-key) form must agree too
+        a = parse_spec("hybrid(alpha=1)")
+        b = parse_spec("hybrid(alpha=1.0)")
+        assert a == b
+        assert a.canonical() == b.canonical() == "hybrid(alpha=1)"
+        assert parse_spec("hybrid(alpha=0.5)").canonical() == "hybrid(alpha=0.5)"
+
+    def test_quoted_values_roundtrip_without_escapes(self):
+        spec = ParamSpec("x", (("k", "it's fine"),))
+        assert parse_spec(spec.canonical()) == spec
+        spec = ParamSpec("x", (("k", 'say "hi" now'),))
+        assert parse_spec(spec.canonical()) == spec
+        with pytest.raises(ValueError, match="both quote"):
+            ParamSpec("x", (("k", """both ' and " quotes"""),)).canonical()
+
+    def test_split_spec_list_respects_parens(self):
+        parts = split_spec_list("mumps-workload,hybrid(alpha=0.25,use_predictions=false),amd")
+        assert parts == ["mumps-workload", "hybrid(alpha=0.25,use_predictions=false)", "amd"]
+
+
+# --------------------------------------------------------------------------- #
+# registries
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_mapping_view(self):
+        registry = Registry("thing")
+        registry.add("Alpha", 1, description="first")
+        registry.add("beta", 2)
+        assert list(registry) == ["Alpha", "beta"]
+        assert registry["ALPHA"] == 1
+        assert "alpha" in registry and "beta" in registry and "gamma" not in registry
+        assert len(registry) == 2
+        assert dict(registry.items()) == {"Alpha": 1, "beta": 2}
+
+    def test_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'hybrid'"):
+            STRATEGIES.get("hybird")
+        with pytest.raises(ValueError, match="did you mean"):
+            ORDERINGS.get("metsi")
+
+    def test_register_decorator_uses_docstring(self):
+        registry = Registry("fn")
+
+        @registry.register("thing", params={"x": 1})
+        def thing(x=1):
+            """Does the thing."""
+
+        assert registry.get("THING") is thing
+        assert registry.params_of("thing") == {"x": 1}
+        assert registry.describe() == [
+            {"name": "thing", "description": "Does the thing.", "params": {"x": 1}}
+        ]
+
+    def test_builtin_registries_expose_metadata(self):
+        strategies = {e["name"]: e for e in STRATEGIES.describe()}
+        assert "alpha" in strategies["hybrid"]["params"]
+        orderings = {e["name"]: e for e in ORDERINGS.describe()}
+        assert "leaf_size" in orderings["metis"]["params"]
+
+
+# --------------------------------------------------------------------------- #
+# parameterized strategies and orderings
+# --------------------------------------------------------------------------- #
+class TestParameterizedStrategies:
+    def test_resolve_binds_params(self):
+        strategy, params = resolve_strategy("hybrid(alpha=0.25)")
+        assert strategy.name == "hybrid"
+        assert params == {"alpha": 0.25}
+        slave, _ = strategy.build(**params)
+        assert isinstance(slave, HybridSlaveSelector)
+        assert slave.alpha == 0.25
+
+    def test_build_rejects_unknown_params(self):
+        with pytest.raises(ValueError, match="accepted"):
+            resolve_strategy("hybrid(gamma=1)")
+        with pytest.raises(ValueError, match="accepted: none"):
+            resolve_strategy("mumps-workload(alpha=0.5)")
+        with pytest.raises(ValueError, match="accepted"):
+            get_strategy("hybrid").build(gamma=1)
+
+    def test_get_strategy_accepts_spec_strings(self):
+        assert get_strategy("hybrid(alpha=0.3)").name == "hybrid"
+
+    def test_canonical_binds_defaults(self):
+        assert (
+            canonical_strategy("hybrid")
+            == canonical_strategy("HYBRID(alpha=0.5)")
+            == "hybrid(alpha=0.5,use_predictions=true)"
+        )
+        assert canonical_strategy("hybrid(alpha=0.3)") != canonical_strategy("hybrid")
+        assert canonical_strategy("memory-full") == "memory-full"
+
+    def test_ordering_specs(self):
+        name, params = resolve_ordering("metis(leaf_size=32)")
+        assert name == "metis"
+        assert params == {"leaf_size": 32}
+        assert canonical_ordering("metis") == canonical_ordering("METIS(leaf_size=64)")
+        assert canonical_ordering("metis(leaf_size=32)") != canonical_ordering("metis")
+        with pytest.raises(ValueError):
+            resolve_ordering("metis(bogus=1)")
+
+    def test_compute_ordering_with_spec_params(self, small_grid=None):
+        from repro.sparse import grid_2d
+
+        pattern = grid_2d(8, 8)
+        a = compute_ordering(pattern, "metis(leaf_size=16)")
+        b = compute_ordering(pattern, "metis", leaf_size=16)
+        assert (a == b).all()
+
+
+# --------------------------------------------------------------------------- #
+# cache keys are sensitive to spec params and per-case overrides
+# --------------------------------------------------------------------------- #
+def engine(**kwargs) -> AnalysisPipeline:
+    kwargs.setdefault("nprocs", 4)
+    kwargs.setdefault("scale", 0.2)
+    return AnalysisPipeline(**kwargs)
+
+
+class TestSpecCacheKeys:
+    def test_strategy_params_change_simulation_key(self):
+        e = engine()
+        a = CaseSpec("XENON2", "metis", "hybrid(alpha=0.3)")
+        b = CaseSpec("XENON2", "metis", "hybrid(alpha=0.5)")
+        bare = CaseSpec("XENON2", "metis", "hybrid")
+        # an alpha=0.3 result must never be addressed by the alpha=0.5 key …
+        assert e.stage_key("simulate", a) != e.stage_key("simulate", b)
+        # … while the explicit default and the bare name share one identity
+        assert e.stage_key("simulate", b) == e.stage_key("simulate", bare)
+        # the analysis phase is strategy-independent and stays shared
+        for stage in ("pattern", "ordering", "tree", "split", "mapping"):
+            assert e.stage_key(stage, a) == e.stage_key(stage, b)
+
+    def test_ordering_params_change_ordering_key_downstream(self):
+        e = engine()
+        a = CaseSpec("XENON2", "metis")
+        b = CaseSpec("XENON2", "metis(leaf_size=32)")
+        c = CaseSpec("XENON2", "METIS(leaf_size=64)")
+        assert e.stage_key("pattern", a) == e.stage_key("pattern", b)
+        for stage in ("ordering", "tree", "split", "mapping", "simulate"):
+            assert e.stage_key(stage, a) != e.stage_key(stage, b)
+            assert e.stage_key(stage, a) == e.stage_key(stage, c)
+
+    def test_nprocs_override_changes_mapping_key_only(self):
+        e = engine(nprocs=4)
+        base = CaseSpec("XENON2", "metis")
+        override = CaseSpec("XENON2", "metis", nprocs=8)
+        for stage in ("pattern", "ordering", "tree", "split"):
+            assert e.stage_key(stage, base) == e.stage_key(stage, override)
+        for stage in ("mapping", "simulate"):
+            assert e.stage_key(stage, base) != e.stage_key(stage, override)
+        # an override equal to the engine default is a no-op
+        same = CaseSpec("XENON2", "metis", nprocs=4)
+        for stage in ("pattern", "ordering", "tree", "split", "mapping", "simulate"):
+            assert e.stage_key(stage, base) == e.stage_key(stage, same)
+
+    def test_scale_override_changes_everything(self):
+        e = engine(scale=0.2)
+        base = CaseSpec("XENON2", "metis")
+        override = CaseSpec("XENON2", "metis", scale=0.25)
+        for stage in ("pattern", "ordering", "tree", "split", "mapping", "simulate"):
+            assert e.stage_key(stage, base) != e.stage_key(stage, override)
+
+    def test_split_threshold_override(self):
+        e = engine()
+        base = CaseSpec("XENON2", "metis", split=True)
+        override = CaseSpec("XENON2", "metis", split=True, split_threshold=2_000)
+        assert e.stage_key("split", base) != e.stage_key("split", override)
+        assert e.stage_key("tree", base) == e.stage_key("tree", override)
+
+    def test_hybrid_variant_not_served_from_other_alpha_cache(self):
+        # end to end: running alpha extremes through one engine must yield the
+        # metrics a fresh single-case engine computes, not a cache cross-hit
+        shared = engine(nprocs=4)
+        extreme = CaseSpec("XENON2", "metis", "hybrid(alpha=0.0)")
+        lone = engine(nprocs=4).run_case(extreme)
+        shared.run_case(CaseSpec("XENON2", "metis", "hybrid(alpha=1.0)"))
+        mixed = shared.run_case(extreme)
+        assert mixed.max_peak_stack == lone.max_peak_stack
+        assert mixed.total_time == lone.total_time
+
+
+# --------------------------------------------------------------------------- #
+# CaseSpec / SweepSpec serialization
+# --------------------------------------------------------------------------- #
+class TestSerialization:
+    def test_case_spec_roundtrip(self):
+        spec = CaseSpec("XENON2", "metis", "hybrid(alpha=0.3)", split=True, nprocs=16, scale=0.5)
+        clone = CaseSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_case_spec_dict_omits_defaults(self):
+        assert CaseSpec("XENON2", "metis").to_dict() == {"problem": "XENON2", "ordering": "metis"}
+
+    def test_case_spec_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CaseSpec fields"):
+            CaseSpec.from_dict({"problem": "XENON2", "ordering": "metis", "bogus": 1})
+
+    def test_sweep_spec_expand_grid_order(self):
+        sweep = SweepSpec(
+            problems="XENON2",
+            strategies=["hybrid(alpha=0.25)", "hybrid(alpha=0.75)"],
+            nprocs=[8, 16],
+        )
+        specs = sweep.expand()
+        assert len(specs) == len(sweep) == 4
+        assert [(s.strategy, s.nprocs) for s in specs] == [
+            ("hybrid(alpha=0.25)", 8),
+            ("hybrid(alpha=0.25)", 16),
+            ("hybrid(alpha=0.75)", 8),
+            ("hybrid(alpha=0.75)", 16),
+        ]
+
+    def test_sweep_spec_roundtrip(self):
+        sweep = SweepSpec(problems=["XENON2", "PRE2"], split=[False, True], nprocs=[4, None])
+        clone = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert clone.expand() == sweep.expand()
+
+    def test_sweep_spec_needs_problems(self):
+        with pytest.raises(ValueError):
+            SweepSpec()
+
+    def test_analysis_signature_extends_only_when_overridden(self):
+        plain = CaseSpec("XENON2", "metis")
+        assert plain.analysis_signature() == ("XENON2", "metis", False)
+        override = CaseSpec("XENON2", "metis", nprocs=8)
+        assert override.analysis_signature() != plain.analysis_signature()
