@@ -1,5 +1,11 @@
 """Helpers shared by the benchmark modules (kept out of conftest.py so that
-regular ``import`` statements resolve unambiguously)."""
+regular ``import`` statements resolve unambiguously).
+
+The configuration now lives in :class:`repro.bench.BenchEnv`, which validates
+every ``REPRO_BENCH_*`` variable up front (``REPRO_BENCH_SCALE=0`` is a clear
+error, not 30 empty problems); the historical module-level constants are kept
+as views of it so existing imports keep working.
+"""
 
 from __future__ import annotations
 
@@ -10,17 +16,19 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.bench import BenchEnv  # noqa: E402  (needs the sys.path fix above)
+
+#: the validated benchmark environment every bench module shares.
+ENV = BenchEnv.from_environ()
+
 #: number of simulated processors used by the table benchmarks (paper: 32)
-BENCH_NPROCS = int(os.environ.get("REPRO_BENCH_NPROCS", "32"))
+BENCH_NPROCS = ENV.nprocs
 #: problem scale factor (1.0 = largest analogues)
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+BENCH_SCALE = ENV.scale
 #: analysis cache shared by all benchmarks
-BENCH_CACHE = os.environ.get(
-    "REPRO_BENCH_CACHE",
-    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), ".repro_cache"),
-)
+BENCH_CACHE = ENV.cache
 #: worker processes used by the shared runner's sweeps (1 = serial)
-BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_JOBS = ENV.jobs
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -31,3 +39,14 @@ def run_once(benchmark, fn, *args, **kwargs):
     honest.
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_prepared(benchmark, prepared):
+    """Time one :class:`repro.bench.PreparedCase` under pytest-benchmark,
+    honouring the case's own repeat/warmup protocol, and return its metrics."""
+    return benchmark.pedantic(
+        prepared.fn,
+        rounds=prepared.repeats,
+        iterations=1,
+        warmup_rounds=prepared.warmup,
+    )

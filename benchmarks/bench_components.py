@@ -1,71 +1,60 @@
 """Micro-benchmarks of the substrate components.
 
-These are conventional pytest-benchmark timings (multiple rounds) of the
-building blocks — orderings, symbolic analysis, sequential memory analysis
-and one parallel simulation — so performance regressions in the substrate are
-visible independently of the table regenerations.
+Thin pytest-benchmark shims over the ``components`` suite of
+:mod:`repro.bench.suites` (orderings, symbolic analysis, sequential memory
+analysis and one parallel simulation), so performance regressions in the
+substrate are visible independently of the table regenerations.  The same
+cases run without pytest through ``repro bench run --suite components``.
 """
 
 import pytest
 
-from repro.analysis import sequential_memory_trace
-from repro.mapping import compute_mapping
-from repro.ordering import compute_ordering
-from repro.runtime import FactorizationSimulator, SimulationConfig
-from repro.scheduling import get_strategy
-from repro.sparse import grid_3d
-from repro.symbolic import build_assembly_tree, column_counts, elimination_tree
+from _bench_utils import ENV, run_prepared
+
+from repro.bench import build_suite
 
 
 @pytest.fixture(scope="module")
-def pattern():
-    return grid_3d(12, 12, 12)
+def components_suite():
+    instance = build_suite("components", ENV)
+    yield instance
+    instance.close()
 
 
-@pytest.fixture(scope="module")
-def tree(pattern):
-    return build_assembly_tree(pattern, compute_ordering(pattern, "metis"), keep_variables=False)
+def _prepared(suite, name):
+    return next(c for c in suite.cases if c.case.name == name)
 
 
-def test_bench_ordering_metis(benchmark, pattern):
-    perm = benchmark(compute_ordering, pattern, "metis")
-    assert perm.shape == (pattern.n,)
+def test_bench_ordering_metis(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "ordering-metis"))
+    assert metrics["n"] > 0
 
 
-def test_bench_ordering_amd(benchmark, pattern):
-    perm = benchmark(compute_ordering, pattern, "amd")
-    assert perm.shape == (pattern.n,)
+def test_bench_ordering_amd(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "ordering-amd"))
+    assert metrics["n"] > 0
 
 
-def test_bench_elimination_tree(benchmark, pattern):
-    parent = benchmark(elimination_tree, pattern)
-    assert parent.shape == (pattern.n,)
+def test_bench_elimination_tree(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "elimination-tree"))
+    assert metrics["n"] > 0
 
 
-def test_bench_column_counts(benchmark, pattern):
-    counts = benchmark(column_counts, pattern)
-    assert counts.min() >= 1
+def test_bench_column_counts(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "column-counts"))
+    assert metrics["min"] >= 1
 
 
-def test_bench_assembly_tree_build(benchmark, pattern):
-    result = benchmark(build_assembly_tree, pattern, None, keep_variables=False)
-    assert result.nnodes >= 1
+def test_bench_assembly_tree_build(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "assembly-tree-build"))
+    assert metrics["nodes"] >= 1
 
 
-def test_bench_sequential_memory_trace(benchmark, tree):
-    trace = benchmark(sequential_memory_trace, tree)
-    assert trace.peak_working > 0
+def test_bench_sequential_memory_trace(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "sequential-memory-trace"))
+    assert metrics["peak_working"] > 0
 
 
-def test_bench_parallel_simulation(benchmark, tree):
-    config = SimulationConfig.paper(nprocs=16)
-    mapping = compute_mapping(tree, 16, **config.mapping_params())
-
-    def run():
-        slave, task = get_strategy("memory-full").build()
-        return FactorizationSimulator(
-            tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task
-        ).run()
-
-    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
-    assert result.max_peak_stack > 0
+def test_bench_parallel_simulation(benchmark, components_suite):
+    metrics = run_prepared(benchmark, _prepared(components_suite, "simulate-memory-full"))
+    assert metrics["max_peak_stack"] > 0

@@ -1,37 +1,42 @@
-"""Benchmark: parallel sweep executor vs. the serial path on a Table-2 grid.
+"""Benchmark: the pipeline hot path and the parallel sweep executor.
 
-Runs the full Table-2-sized case grid (8 problems × 4 orderings × 2
-strategies = 64 cases) twice from a cold start — once serially in-process,
-once through :class:`~repro.pipeline.SweepExecutor` with
-``REPRO_BENCH_PIPELINE_JOBS`` worker processes (default 4) — and
+Two complementary measurements, both thin layers over the benchmark
+subsystem (:mod:`repro.bench`):
 
-* asserts the two result lists are *identical*, field by field (the
-  executor's ordering guarantee: parallel is a drop-in for serial);
-* records the wall-clock comparison (serial seconds, parallel seconds,
-  speedup) in the printed summary and in the pytest-benchmark ``extra_info``.
+* ``test_pipeline_suite_cases`` times the ``pipeline`` suite's prepared
+  cases (simulation kernel on prebuilt analyses + one cold end-to-end
+  sweep) under pytest-benchmark — the exact cases ``repro bench run
+  --suite pipeline`` and the CI perf gate execute;
+* ``test_parallel_sweep_matches_serial`` runs the full Table-2-sized grid
+  (8 problems × 4 orderings × 2 strategies = 64 cases) twice from a cold
+  start — once serially in-process, once through
+  :class:`~repro.pipeline.SweepExecutor` with ``REPRO_BENCH_PIPELINE_JOBS``
+  worker processes (default 4) — asserts the two result lists are
+  *identical* field by field (the executor's ordering guarantee: parallel is
+  a drop-in for serial) and records the wall-clock speedup.
 
 The speedup assertion only arms on machines with at least 4 CPUs — a
 process pool cannot beat the serial path on the single-core containers CI
 sometimes hands out — and can be disarmed explicitly with
 ``REPRO_BENCH_NO_SPEEDUP_CHECK=1``.
 
-Both runs deliberately bypass the shared on-disk cache: the point is to
-measure the executor, not the cache.
+Both sweep runs deliberately bypass the shared on-disk cache: the point is
+to measure the executor, not the cache.
 """
 
 import os
 import time
 
 import numpy as np
+import pytest
 
-from _bench_utils import BENCH_NPROCS, BENCH_SCALE, run_once
+from _bench_utils import ENV, run_once, run_prepared
 
+from repro.bench import build_suite
 from repro.experiments import ExperimentRunner
 from repro.experiments.problems import PROBLEMS
 from repro.experiments.runner import ORDERING_NAMES
 from repro.pipeline import CaseSpec
-
-PIPELINE_JOBS = int(os.environ.get("REPRO_BENCH_PIPELINE_JOBS", "4"))
 
 #: the Table-2 grid: every problem × every ordering × {baseline, memory}
 GRID = [
@@ -40,6 +45,23 @@ GRID = [
     for ordering in ORDERING_NAMES
     for strategy in ("mumps-workload", "memory-full")
 ]
+
+
+@pytest.fixture(scope="module")
+def pipeline_suite():
+    instance = build_suite("pipeline", ENV)
+    yield instance
+    instance.close()
+
+
+@pytest.mark.parametrize(
+    "name", ["simulate-xenon2-metis", "simulate-twotone-amd", "sweep-serial-cold"]
+)
+def test_pipeline_suite_cases(benchmark, pipeline_suite, name):
+    prepared = next(c for c in pipeline_suite.cases if c.case.name == name)
+    metrics = run_prepared(benchmark, prepared)
+    assert metrics
+    assert all(value >= 0 for value in metrics.values())
 
 
 def _assert_identical(serial, parallel):
@@ -64,14 +86,14 @@ def test_parallel_sweep_matches_serial(benchmark):
     # cache_dir="" (not None) pins the disk tier off even when REPRO_CACHE_DIR
     # is exported — both paths must start genuinely cold
     start = time.perf_counter()
-    serial = ExperimentRunner(nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir="").run_cases(GRID)
+    serial = ExperimentRunner(nprocs=ENV.nprocs, scale=ENV.scale, cache_dir="").run_cases(GRID)
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     parallel = run_once(
         benchmark,
         lambda: ExperimentRunner(
-            nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir="", jobs=PIPELINE_JOBS
+            nprocs=ENV.nprocs, scale=ENV.scale, cache_dir="", jobs=ENV.pipeline_jobs
         ).run_cases(GRID),
     )
     parallel_seconds = time.perf_counter() - start
@@ -81,7 +103,7 @@ def test_parallel_sweep_matches_serial(benchmark):
     speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
     benchmark.extra_info.update(
         cases=len(GRID),
-        jobs=PIPELINE_JOBS,
+        jobs=ENV.pipeline_jobs,
         serial_seconds=round(serial_seconds, 2),
         parallel_seconds=round(parallel_seconds, 2),
         speedup=round(speedup, 2),
@@ -89,14 +111,14 @@ def test_parallel_sweep_matches_serial(benchmark):
     )
     print()
     print(
-        f"PIPELINE SWEEP — {len(GRID)} cases, nprocs={BENCH_NPROCS}, scale={BENCH_SCALE}\n"
+        f"PIPELINE SWEEP — {len(GRID)} cases, nprocs={ENV.nprocs}, scale={ENV.scale}\n"
         f"  serial   : {serial_seconds:8.2f}s\n"
-        f"  {PIPELINE_JOBS} workers: {parallel_seconds:8.2f}s  (speedup {speedup:.2f}x on {os.cpu_count()} CPUs)"
+        f"  {ENV.pipeline_jobs} workers: {parallel_seconds:8.2f}s  (speedup {speedup:.2f}x on {os.cpu_count()} CPUs)"
     )
 
     cpus = os.cpu_count() or 1
-    if cpus >= 4 and not os.environ.get("REPRO_BENCH_NO_SPEEDUP_CHECK"):
+    if cpus >= 4 and not ENV.no_speedup_check:
         assert parallel_seconds < serial_seconds, (
-            f"parallel sweep ({parallel_seconds:.2f}s with {PIPELINE_JOBS} workers) "
+            f"parallel sweep ({parallel_seconds:.2f}s with {ENV.pipeline_jobs} workers) "
             f"should beat the serial path ({serial_seconds:.2f}s) on {cpus} CPUs"
         )

@@ -1,18 +1,15 @@
-"""Benchmark regenerating Table 1: the test problems."""
+"""Benchmark regenerating Table 1: the test problems.
 
-from _bench_utils import run_once
+Thin pytest-benchmark shim over the ``tables`` suite of
+:mod:`repro.bench.suites` — the same case ``repro bench run --suite tables``
+times without pytest.
+"""
 
-from repro.experiments import tables
-
-
-def bench_table1(runner):
-    rows = tables.table1(runner)
-    print()
-    print(tables.format_table(rows, title="TABLE 1 — test problems (analogues, paper sizes for reference)"))
-    return rows
+from _bench_utils import run_prepared
 
 
-def test_table1(benchmark, runner):
-    rows = run_once(benchmark, bench_table1, runner)
-    assert len(rows) == 8
-    assert all(row["Order"] > 0 for row in rows.values())
+def test_table1(benchmark, tables_suite):
+    prepared = next(c for c in tables_suite.cases if c.case.name == "table1")
+    metrics = run_prepared(benchmark, prepared)
+    assert metrics["rows"] == 8
+    assert metrics["min_order"] > 0

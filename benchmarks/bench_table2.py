@@ -7,30 +7,20 @@ for the 8 test problems and the 4 orderings.
 
 Expected shape (paper): mostly positive gains, zeros for the symmetric
 problems whose peak sits inside a leaf subtree, a few small negative entries.
+
+Thin pytest-benchmark shim over the ``tables`` suite of
+:mod:`repro.bench.suites` — the same case ``repro bench run --suite tables``
+times without pytest.
 """
 
-from _bench_utils import run_once
-
-from repro.experiments import tables
+from _bench_utils import run_prepared
 
 
-def bench_table2(runner):
-    rows = tables.table2(runner)
-    print()
-    print(
-        tables.format_table(
-            rows,
-            title="TABLE 2 — % decrease of max stack peak (memory strategy vs MUMPS, no splitting)",
-        )
-    )
-    return rows
-
-
-def test_table2(benchmark, runner):
-    rows = run_once(benchmark, bench_table2, runner)
-    assert len(rows) == 8
-    values = [v for row in rows.values() for v in row.values()]
+def test_table2(benchmark, tables_suite):
+    prepared = next(c for c in tables_suite.cases if c.case.name == "table2")
+    metrics = run_prepared(benchmark, prepared)
+    assert metrics["rows"] == 8
     # reproduction of the paper's qualitative claim: the strategy helps on
     # average and never causes a catastrophic regression
-    assert sum(values) / len(values) > -5.0
-    assert max(values) > 0.0
+    assert metrics["mean_gain"] > -5.0
+    assert metrics["max_gain"] > 0.0

@@ -7,25 +7,20 @@ Each ``bench_table*.py`` regenerates one table of the paper and each entry of
 whole harness costs one analysis pass regardless of how many tables are
 regenerated.
 
-Environment knobs (all optional):
-
-``REPRO_BENCH_NPROCS``
-    Number of simulated processors (default 32, like the paper).
-``REPRO_BENCH_SCALE``
-    Problem scale factor (default 0.6; 1.0 gives the largest analogues).
-``REPRO_BENCH_CACHE``
-    Analysis cache directory (default ``.repro_cache`` inside the repo).
-``REPRO_BENCH_JOBS``
-    Worker processes for the table sweeps (default 1 = serial; the pipeline
-    engine shares analysis artifacts between workers through the cache).
+The configuration knobs come from :class:`repro.bench.BenchEnv`
+(``REPRO_BENCH_NPROCS`` / ``_SCALE`` / ``_CACHE`` / ``_JOBS`` /
+``_PIPELINE_JOBS`` / ``_NO_SPEEDUP_CHECK``), validated at import time — see
+``docs/benchmarks.md``.  The same suites also run without pytest through
+``python -m repro bench run``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _bench_utils import BENCH_CACHE, BENCH_JOBS, BENCH_NPROCS, BENCH_SCALE  # noqa: F401  (re-exported)
+from _bench_utils import ENV, BENCH_CACHE, BENCH_JOBS, BENCH_NPROCS, BENCH_SCALE  # noqa: F401  (re-exported)
 
+from repro.bench.suites import SUITES
 from repro.experiments import ExperimentRunner
 
 
@@ -35,3 +30,11 @@ def runner() -> ExperimentRunner:
     return ExperimentRunner(
         nprocs=BENCH_NPROCS, scale=BENCH_SCALE, cache_dir=BENCH_CACHE, jobs=BENCH_JOBS
     )
+
+
+@pytest.fixture(scope="session")
+def tables_suite(runner):
+    """The ``tables`` bench suite, sharing the session runner (and its cache)."""
+    instance = SUITES.get("tables")(ENV, runner=runner)
+    yield instance
+    instance.close()

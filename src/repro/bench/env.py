@@ -1,0 +1,115 @@
+"""Validated benchmark configuration from the ``REPRO_BENCH_*`` environment.
+
+The historical ``benchmarks/_bench_utils.py`` read these variables at import
+time with bare ``int()`` / ``float()`` casts: a typo like
+``REPRO_BENCH_SCALE=0`` silently produced empty problems and
+``REPRO_BENCH_JOBS=two`` crashed with a naked ``ValueError`` pointing at the
+wrong line.  :class:`BenchEnv` centralises the parsing, range-checks every
+knob and raises one uniform, variable-named error, so both the pytest
+shims and the ``repro bench`` CLI agree on the configuration and on the
+failure mode.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+__all__ = ["BenchEnv", "BenchEnvError"]
+
+#: repository root (the directory holding ``src/``), used for the default cache
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+
+
+class BenchEnvError(ValueError):
+    """A ``REPRO_BENCH_*`` variable holds an out-of-range or unparsable value."""
+
+
+_FALSEY = {"", "0", "false", "no", "off"}
+
+
+def _parse_flag(environ: Mapping[str, str], name: str, default: bool) -> bool:
+    raw = environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSEY
+
+
+def _parse(environ: Mapping[str, str], name: str, caster, default):
+    raw = environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return caster(raw)
+    except (TypeError, ValueError):
+        raise BenchEnvError(
+            f"{name}={raw!r} is not a valid {caster.__name__}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class BenchEnv:
+    """Benchmark knobs, with the same defaults the suite always had.
+
+    ``from_environ`` is the only supported constructor from the environment;
+    building one directly (e.g. in tests or from CLI flags via
+    :meth:`replace`) bypasses the environment but not the validation, which
+    runs in ``__post_init__``.
+    """
+
+    #: simulated processors used by the suites (paper: 32).
+    nprocs: int = 32
+    #: problem scale factor (1.0 = largest analogues).
+    scale: float = 0.6
+    #: analysis cache directory shared by the table suites ("" disables it).
+    cache: str = os.path.join(_REPO_ROOT, ".repro_cache")
+    #: worker processes used by the shared runner's sweeps (1 = serial).
+    jobs: int = 1
+    #: worker processes for the parallel-vs-serial pipeline comparison.
+    pipeline_jobs: int = 4
+    #: disarm the parallel-beats-serial assertion (shared/1-core runners).
+    no_speedup_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise BenchEnvError(f"REPRO_BENCH_NPROCS must be >= 1, got {self.nprocs}")
+        if not self.scale > 0:
+            raise BenchEnvError(f"REPRO_BENCH_SCALE must be > 0, got {self.scale!r}")
+        if self.scale > 4:
+            raise BenchEnvError(
+                f"REPRO_BENCH_SCALE={self.scale!r} is out of range (problems only scale up to 4.0)"
+            )
+        if self.jobs < 1:
+            raise BenchEnvError(f"REPRO_BENCH_JOBS must be >= 1, got {self.jobs}")
+        if self.pipeline_jobs < 1:
+            raise BenchEnvError(
+                f"REPRO_BENCH_PIPELINE_JOBS must be >= 1, got {self.pipeline_jobs}"
+            )
+
+    @classmethod
+    def from_environ(cls, environ: Mapping[str, str] | None = None) -> "BenchEnv":
+        """Read and validate every ``REPRO_BENCH_*`` variable.
+
+        ``environ`` defaults to ``os.environ``; pass a mapping in tests.
+        Unset (or empty) variables keep their defaults; malformed or
+        out-of-range values raise :class:`BenchEnvError` naming the variable.
+        """
+        env = os.environ if environ is None else environ
+        return cls(
+            nprocs=_parse(env, "REPRO_BENCH_NPROCS", int, cls.nprocs),
+            scale=_parse(env, "REPRO_BENCH_SCALE", float, cls.scale),
+            cache=env.get("REPRO_BENCH_CACHE", cls.cache),
+            jobs=_parse(env, "REPRO_BENCH_JOBS", int, cls.jobs),
+            pipeline_jobs=_parse(env, "REPRO_BENCH_PIPELINE_JOBS", int, cls.pipeline_jobs),
+            no_speedup_check=_parse_flag(env, "REPRO_BENCH_NO_SPEEDUP_CHECK", cls.no_speedup_check),
+        )
+
+    def replace(self, **overrides) -> "BenchEnv":
+        """A copy with ``overrides`` applied (``None`` values are ignored)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data.update({k: v for k, v in overrides.items() if v is not None})
+        return BenchEnv(**data)
+
+    def to_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,105 @@
+"""Execute benchmark suites with warmup/repeat/timer control.
+
+The runner is deliberately small: suites declare *what* to measure
+(:mod:`repro.bench.suites`), the model declares *how results look*
+(:mod:`repro.bench.model`) and this module only owns the measurement
+protocol — untimed warmup rounds, timed repeats around the injected timer,
+and error capture so one broken case never voids a whole run.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Callable, Optional, Sequence
+
+from repro.bench.env import BenchEnv
+from repro.bench.model import BenchCase, BenchResult, BenchRun
+from repro.bench.suites import PreparedCase, build_suite
+
+__all__ = ["BenchRunner"]
+
+
+class BenchRunner:
+    """Run named suites into a :class:`~repro.bench.model.BenchRun`.
+
+    Parameters
+    ----------
+    env:
+        Validated benchmark configuration (problem scale, processor count…).
+    repeats / warmup:
+        Global overrides; ``None`` keeps each case's own protocol (micro
+        cases default to several repeats, end-to-end cases to one).
+    timer:
+        Monotonic clock used around each repeat (injectable for tests).
+    progress:
+        Optional callback ``(case, result)`` invoked after each case.
+    """
+
+    def __init__(
+        self,
+        env: BenchEnv | None = None,
+        *,
+        repeats: int | None = None,
+        warmup: int | None = None,
+        timer: Callable[[], float] = time.perf_counter,
+        progress: Optional[Callable[[PreparedCase, BenchResult], None]] = None,
+    ) -> None:
+        if repeats is not None and repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if warmup is not None and warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.env = env if env is not None else BenchEnv.from_environ()
+        self.repeats = repeats
+        self.warmup = warmup
+        self.timer = timer
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+    def run_case(self, prepared: PreparedCase) -> BenchResult:
+        """Time one prepared case (warmups, then repeats; errors captured)."""
+        repeats = self.repeats if self.repeats is not None else prepared.repeats
+        warmup = self.warmup if self.warmup is not None else prepared.warmup
+        result = BenchResult(case=prepared.case, warmup=warmup)
+        try:
+            for _ in range(warmup):
+                prepared.fn()
+            for _ in range(repeats):
+                start = self.timer()
+                metrics = prepared.fn()
+                result.seconds.append(self.timer() - start)
+                if metrics:
+                    result.metrics = {str(k): float(v) for k, v in metrics.items()}
+        except Exception:
+            result.seconds = []
+            result.error = traceback.format_exc(limit=8)
+        if self.progress is not None:
+            self.progress(prepared, result)
+        return result
+
+    def run_suites(self, names: Sequence[str]) -> BenchRun:
+        """Build and execute every named suite, in order, into one run.
+
+        A suite whose *build* raises (e.g. a broken analysis chain) is
+        recorded as one errored ``<suite>/<suite>-build`` result instead of
+        aborting the run — the other suites still execute and the partial
+        results are still saved and comparable.
+        """
+        run = BenchRun.started(self.env)
+        for name in names:
+            try:
+                instance = build_suite(name, self.env)
+            except Exception:
+                run.results.append(
+                    BenchResult(
+                        case=BenchCase(name=f"{name}-build", suite=name),
+                        error=traceback.format_exc(limit=8),
+                    )
+                )
+                continue
+            try:
+                for prepared in instance.cases:
+                    run.results.append(self.run_case(prepared))
+            finally:
+                instance.close()
+        return run

@@ -1,0 +1,351 @@
+"""The named benchmark suites.
+
+A *suite* is a declarative list of :class:`PreparedCase` values — a
+:class:`~repro.bench.model.BenchCase` identity plus a zero-argument callable
+returning the case's domain metrics — built against a validated
+:class:`~repro.bench.env.BenchEnv`.  The same prepared cases serve two
+harnesses:
+
+* :class:`~repro.bench.runner.BenchRunner` times them itself (warmup +
+  repeats around ``fn()``) for ``repro bench run`` and the CI perf gate;
+* the ``benchmarks/bench_*.py`` shims hand ``fn`` to pytest-benchmark, so the
+  historical ``pytest benchmarks/`` invocation keeps working.
+
+Suites:
+
+``pipeline``
+    The hot path: the discrete-event simulation kernel on prebuilt analyses
+    (where the vectorized view updates show up) plus one cold end-to-end
+    sweep through the session machinery.
+``tables``
+    Regeneration of the paper's Table 1 and Table 2 through a shared runner.
+``ablations``
+    The strategy-ingredient ablation on two representative cases.
+``components``
+    Micro-benchmarks of the substrate (orderings, symbolic analysis,
+    sequential memory analysis, one parallel simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.bench.env import BenchEnv
+from repro.bench.model import BenchCase
+from repro.registry import Registry
+
+__all__ = ["PreparedCase", "SuiteInstance", "SUITES", "build_suite", "suite_names"]
+
+
+@dataclass
+class PreparedCase:
+    """One runnable case: identity, work, and its default timing protocol."""
+
+    case: BenchCase
+    fn: Callable[[], Optional[Mapping[str, float]]]
+    repeats: int = 1
+    warmup: int = 0
+
+
+@dataclass
+class SuiteInstance:
+    """A built suite: its cases plus the teardown releasing shared state."""
+
+    name: str
+    cases: list[PreparedCase] = field(default_factory=list)
+    close: Callable[[], None] = lambda: None
+
+
+SUITES: Registry = Registry("suite")
+
+
+def suite_names() -> list[str]:
+    return list(SUITES)
+
+
+def build_suite(name: str, env: BenchEnv) -> SuiteInstance:
+    """Build the named suite against ``env`` (raises with did-you-mean on a miss)."""
+    builder = SUITES.get(name)
+    return builder(env)
+
+
+def _simulate_metrics(result) -> dict[str, float]:
+    return {
+        "max_peak_stack": float(result.max_peak_stack),
+        "avg_peak_stack": float(result.avg_peak_stack),
+        "total_time": float(result.total_time),
+        "nodes": float(result.nodes),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pipeline: the end-to-end and simulation hot paths
+# --------------------------------------------------------------------------- #
+#: (problem, ordering) pairs whose pure simulation step is timed.
+PIPELINE_SIMULATE_CASES = [("XENON2", "metis"), ("TWOTONE", "amd")]
+
+#: the cold sweep grid (2 problems × 2 orderings × 2 strategies = 8 cases).
+PIPELINE_SWEEP_AXES = {
+    "problems": ["XENON2", "PRE2"],
+    "orderings": ["metis", "amd"],
+    "strategies": ["mumps-workload", "memory-full"],
+}
+
+
+@SUITES.register(
+    "pipeline",
+    description="simulation kernel on prebuilt analyses + one cold end-to-end sweep",
+)
+def _pipeline_suite(env: BenchEnv) -> SuiteInstance:
+    from repro.runtime import FactorizationSimulator
+    from repro.scheduling import get_strategy
+    from repro.session import Session
+    from repro.specs import SweepSpec
+
+    # the analyses are prebuilt (untimed) so the simulate cases measure the
+    # discrete-event kernel alone — the target of the view vectorization
+    session = Session(nprocs=env.nprocs, scale=env.scale, cache_dir="")
+    cases: list[PreparedCase] = []
+    for problem, ordering in PIPELINE_SIMULATE_CASES:
+        analysis = session.analysis(problem, ordering)
+
+        def simulate(analysis=analysis) -> dict[str, float]:
+            slave, task = get_strategy("memory-full").build()
+            result = FactorizationSimulator(
+                analysis.tree,
+                config=session.config,
+                mapping=analysis.mapping,
+                slave_selector=slave,
+                task_selector=task,
+            ).run()
+            return _simulate_metrics(result)
+
+        cases.append(
+            PreparedCase(
+                case=BenchCase(
+                    name=f"simulate-{problem}-{ordering}".lower(),
+                    suite="pipeline",
+                    params=(
+                        ("problem", problem),
+                        ("ordering", ordering),
+                        ("strategy", "memory-full"),
+                        ("nprocs", env.nprocs),
+                        ("scale", env.scale),
+                    ),
+                ),
+                fn=simulate,
+                repeats=3,
+                warmup=1,
+            )
+        )
+
+    specs = SweepSpec(**PIPELINE_SWEEP_AXES).expand()
+
+    def cold_sweep() -> dict[str, float]:
+        # a fresh session with the disk tier pinned off: every repeat pays the
+        # full pattern → ordering → tree → mapping → simulate chain
+        with Session(nprocs=env.nprocs, scale=env.scale, cache_dir="") as inner:
+            results = inner.run_cases(specs)
+        return {
+            "cases": float(len(results)),
+            "sum_max_peak": float(sum(r.max_peak_stack for r in results)),
+        }
+
+    cases.append(
+        PreparedCase(
+            case=BenchCase(
+                name="sweep-serial-cold",
+                suite="pipeline",
+                params=(
+                    ("cases", len(specs)),
+                    ("nprocs", env.nprocs),
+                    ("scale", env.scale),
+                ),
+            ),
+            fn=cold_sweep,
+            repeats=1,
+            warmup=0,
+        )
+    )
+    return SuiteInstance(name="pipeline", cases=cases, close=session.close)
+
+
+# --------------------------------------------------------------------------- #
+# tables: the paper's measurement grids
+# --------------------------------------------------------------------------- #
+def _table1_metrics(rows: Mapping[str, Mapping[str, object]]) -> dict[str, float]:
+    return {
+        "rows": float(len(rows)),
+        "min_order": float(min(row["Order"] for row in rows.values())),
+    }
+
+
+def _table2_metrics(rows: Mapping[str, Mapping[str, object]]) -> dict[str, float]:
+    gains = [float(v) for row in rows.values() for v in row.values()]
+    return {
+        "rows": float(len(rows)),
+        "mean_gain": sum(gains) / len(gains) if gains else 0.0,
+        "max_gain": max(gains) if gains else 0.0,
+    }
+
+
+#: per-table extraction of the metrics the pytest shims assert on.
+TABLE_METRICS = {"table1": _table1_metrics, "table2": _table2_metrics}
+
+
+@SUITES.register("tables", description="regeneration of Table 1 and Table 2")
+def _tables_suite(env: BenchEnv, runner=None) -> SuiteInstance:
+    from repro.experiments import ExperimentRunner
+    from repro.experiments.tables import ALL_TABLES
+
+    owns_runner = runner is None
+    if owns_runner:
+        # env.cache is passed verbatim: "" means "disk cache off" and must not
+        # collapse to None, which would re-enable the REPRO_CACHE_DIR fallback
+        runner = ExperimentRunner(
+            nprocs=env.nprocs, scale=env.scale, cache_dir=env.cache, jobs=env.jobs
+        )
+    cases: list[PreparedCase] = []
+    for table in ("table1", "table2"):
+        entry = ALL_TABLES.entry(table)
+
+        def regenerate(entry=entry, metrics=TABLE_METRICS[table]) -> dict[str, float]:
+            return metrics(entry.value(runner))
+
+        cases.append(
+            PreparedCase(
+                case=BenchCase(
+                    name=table,
+                    suite="tables",
+                    params=(
+                        ("nprocs", env.nprocs),
+                        ("scale", env.scale),
+                        ("jobs", env.jobs),
+                    ),
+                ),
+                fn=regenerate,
+            )
+        )
+    return SuiteInstance(
+        name="tables", cases=cases, close=runner.close if owns_runner else (lambda: None)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ablations: strategy ingredients
+# --------------------------------------------------------------------------- #
+ABLATION_CASES = [("XENON2", "metis"), ("TWOTONE", "amd")]
+ABLATION_PRESETS = [
+    "mumps-workload",
+    "memory-basic",
+    "memory-slave",
+    "memory-task",
+    "memory-full",
+    "hybrid",
+]
+
+
+@SUITES.register("ablations", description="strategy-ingredient ablation on split trees")
+def _ablations_suite(env: BenchEnv) -> SuiteInstance:
+    from repro.experiments import ExperimentRunner
+    from repro.session import percentage_decrease
+
+    # "" = disk cache off, never None (the REPRO_CACHE_DIR fallback)
+    runner = ExperimentRunner(
+        nprocs=env.nprocs, scale=env.scale, cache_dir=env.cache, jobs=env.jobs
+    )
+    cases: list[PreparedCase] = []
+    for problem, ordering in ABLATION_CASES:
+
+        def ablate(problem=problem, ordering=ordering) -> dict[str, float]:
+            base = runner.run_case(problem, ordering, "mumps-workload", split=True)
+            gains = {}
+            for preset in ABLATION_PRESETS:
+                result = runner.run_case(problem, ordering, preset, split=True)
+                gains[preset] = percentage_decrease(base.max_peak_stack, result.max_peak_stack)
+            return gains
+
+        cases.append(
+            PreparedCase(
+                case=BenchCase(
+                    name=f"ablation-{problem}-{ordering}".lower(),
+                    suite="ablations",
+                    params=(
+                        ("problem", problem),
+                        ("ordering", ordering),
+                        ("presets", len(ABLATION_PRESETS)),
+                        ("nprocs", env.nprocs),
+                        ("scale", env.scale),
+                    ),
+                ),
+                fn=ablate,
+            )
+        )
+    return SuiteInstance(name="ablations", cases=cases, close=runner.close)
+
+
+# --------------------------------------------------------------------------- #
+# components: substrate micro-benchmarks
+# --------------------------------------------------------------------------- #
+def _component_grid_side(scale: float) -> int:
+    """Edge length of the 3-D model grid (12 at the historical scale 1.0)."""
+    return max(6, int(round(12.0 * scale ** (1.0 / 3.0))))
+
+
+@SUITES.register("components", description="substrate micro-benchmarks (orderings, symbolic, simulation)")
+def _components_suite(env: BenchEnv) -> SuiteInstance:
+    from repro.analysis import sequential_memory_trace
+    from repro.mapping import compute_mapping
+    from repro.ordering import compute_ordering
+    from repro.runtime import FactorizationSimulator, SimulationConfig
+    from repro.scheduling import get_strategy
+    from repro.sparse import grid_3d
+    from repro.symbolic import build_assembly_tree, column_counts, elimination_tree
+
+    side = _component_grid_side(env.scale)
+    pattern = grid_3d(side, side, side)
+    tree = build_assembly_tree(pattern, compute_ordering(pattern, "metis"), keep_variables=False)
+    config = SimulationConfig.paper(nprocs=env.nprocs)
+    mapping = compute_mapping(tree, env.nprocs, **config.mapping_params())
+
+    def simulate() -> dict[str, float]:
+        slave, task = get_strategy("memory-full").build()
+        result = FactorizationSimulator(
+            tree, config=config, mapping=mapping, slave_selector=slave, task_selector=task
+        ).run()
+        return _simulate_metrics(result)
+
+    work: list[tuple[str, Callable[[], Optional[Mapping[str, float]]]]] = [
+        ("ordering-metis", lambda: {"n": float(compute_ordering(pattern, "metis").shape[0])}),
+        ("ordering-amd", lambda: {"n": float(compute_ordering(pattern, "amd").shape[0])}),
+        ("elimination-tree", lambda: {"n": float(elimination_tree(pattern).shape[0])}),
+        ("column-counts", lambda: {"min": float(column_counts(pattern).min())}),
+        (
+            "assembly-tree-build",
+            lambda: {
+                "nodes": float(
+                    build_assembly_tree(pattern, None, keep_variables=False).nnodes
+                )
+            },
+        ),
+        (
+            "sequential-memory-trace",
+            lambda: {"peak_working": float(sequential_memory_trace(tree).peak_working)},
+        ),
+        ("simulate-memory-full", simulate),
+    ]
+    cases = [
+        PreparedCase(
+            case=BenchCase(
+                name=name,
+                suite="components",
+                params=(("grid", side), ("nprocs", env.nprocs), ("scale", env.scale)),
+            ),
+            fn=fn,
+            repeats=3,
+            warmup=1,
+        )
+        for name, fn in work
+    ]
+    return SuiteInstance(name="components", cases=cases)

@@ -25,6 +25,12 @@ strategy/ordering accepts)::
 
     python -m repro list
     python -m repro list --format json
+
+Run the continuous-performance harness (suites, machine-readable results,
+baseline comparison — see ``docs/benchmarks.md``)::
+
+    python -m repro bench run --suite pipeline --scale 0.2 --save /tmp/b.json
+    python -m repro bench compare /tmp/b.json benchmarks/baselines/ci-ubuntu.json
 """
 
 from __future__ import annotations
@@ -84,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep' or 'list'",
+        help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep', 'list' "
+        "or 'bench' (the performance harness; see 'repro bench --help')",
     )
     parser.add_argument(
         "--nprocs", type=_nprocs_list, default=32,
@@ -281,10 +288,21 @@ def _validate_subsets(parser, problems, orderings, strategies) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
     raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv and raw_argv[0].lower() == "bench":
+        # the performance harness has its own subcommand grammar (run /
+        # compare / list) and flag set; hand the rest of argv straight over
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(raw_argv[1:])
+    parser = build_parser()
     args = parser.parse_args(raw_argv)
     target = args.target.lower()
+
+    if target == "bench":
+        # flags before the verb are ambiguous (--nprocs etc. belong to the
+        # bench subcommands); require the verb-first spelling explicitly
+        parser.error("'bench' must come first: repro bench {run,compare,list} ...")
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")

@@ -15,7 +15,7 @@ from repro.runtime.config import SimulationConfig
 from repro.runtime.events import EventQueue
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.memory_state import ProcessorMemory
-from repro.runtime.loadview import SystemView
+from repro.runtime.loadview import SystemView, ViewBank
 from repro.runtime.tasks import Task, TaskKind
 from repro.runtime.processor import ProcessorState
 from repro.runtime.simulator import FactorizationSimulator, SimulationResult
@@ -29,6 +29,7 @@ __all__ = [
     "MessageKind",
     "ProcessorMemory",
     "SystemView",
+    "ViewBank",
     "Task",
     "TaskKind",
     "ProcessorState",

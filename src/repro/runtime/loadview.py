@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SystemView"]
+__all__ = ["SystemView", "ViewBank"]
 
 
 @dataclass
@@ -108,3 +108,129 @@ class SystemView:
             "subtree_peak": self.subtree_peak.copy(),
             "predicted_master": self.predicted_master.copy(),
         }
+
+
+class ViewBank:
+    """All processors' :class:`SystemView` s backed by shared matrices.
+
+    A broadcast event delivers the same value to every processor but the
+    sender at the same simulated instant, and a reservation notification
+    applies the same increments to every third party's view — both used to be
+    per-processor Python loops over method calls, executed once per memory or
+    load variation, i.e. many times per simulated task.  The bank stores the
+    four view quantities as ``(nprocs, nprocs)`` matrices indexed
+    ``[observer, subject]``; each processor's :class:`SystemView` wraps the
+    matrix *rows* (plain numpy views, zero copies), so a broadcast collapses
+    to one column assignment and a reservation to one clamped column update.
+
+    ``vectorized=False`` keeps the historical layout — independent per-view
+    arrays updated by the original scalar loops — as an executable reference:
+    the identity tests run both modes and require bit-equal simulations.
+    """
+
+    #: broadcast kind (as used by the simulator's event payloads) → matrix.
+    _ARRAY_OF_KIND = {
+        "memory": "memory",
+        "load": "load",
+        "subtree": "subtree_peak",
+        "prediction": "predicted_master",
+    }
+    _SETTER_OF_KIND = {
+        "memory": SystemView.set_memory,
+        "load": SystemView.set_load,
+        "subtree": SystemView.set_subtree_peak,
+        "prediction": SystemView.set_predicted_master,
+    }
+
+    def __init__(self, nprocs: int, *, vectorized: bool = True) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = int(nprocs)
+        self.vectorized = bool(vectorized)
+        if self.vectorized:
+            self.memory = np.zeros((nprocs, nprocs), dtype=np.float64)
+            self.load = np.zeros((nprocs, nprocs), dtype=np.float64)
+            self.subtree_peak = np.zeros((nprocs, nprocs), dtype=np.float64)
+            self.predicted_master = np.zeros((nprocs, nprocs), dtype=np.float64)
+            self._views = [
+                SystemView(
+                    nprocs=nprocs,
+                    owner=p,
+                    memory=self.memory[p],
+                    load=self.load[p],
+                    subtree_peak=self.subtree_peak[p],
+                    predicted_master=self.predicted_master[p],
+                )
+                for p in range(nprocs)
+            ]
+        else:
+            self._views = [SystemView(nprocs=nprocs, owner=p) for p in range(nprocs)]
+
+    def view(self, proc: int) -> SystemView:
+        """The (live) view owned by processor ``proc``."""
+        return self._views[proc]
+
+    def reset(self) -> None:
+        """Zero every view (a simulation must start from pristine beliefs).
+
+        The simulator calls this on the bank it is handed, so reusing one
+        bank across runs can never leak the previous run's stale views.
+        """
+        for view in self._views:
+            view.memory[:] = 0.0
+            view.load[:] = 0.0
+            view.subtree_peak[:] = 0.0
+            view.predicted_master[:] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # batched event application
+    # ------------------------------------------------------------------ #
+    def apply_broadcast(self, kind: str, source: int, value: float) -> None:
+        """Deliver one broadcast to every processor except the sender.
+
+        Equivalent to calling the per-kind setter on each non-source view;
+        the sender's own row is untouched (it always knows its exact state
+        and updated it when the broadcast was emitted).
+        """
+        try:
+            attr = self._ARRAY_OF_KIND[kind]
+        except KeyError:
+            raise ValueError(f"unknown broadcast kind {kind}") from None
+        if not self.vectorized:
+            setter = self._SETTER_OF_KIND[kind]
+            for view in self._views:
+                if view.owner != source:
+                    setter(view, source, value)
+            return
+        if kind != "memory":
+            # the scalar setters clamp at zero; one scalar max keeps the
+            # column assignment bit-identical to the per-view calls
+            value = max(float(value), 0.0)
+        column = getattr(self, attr)[:, source]
+        keep = column[source]
+        column[:] = value
+        column[source] = keep
+
+    def apply_reservations(self, source: int, reservations: list[tuple[int, float]]) -> None:
+        """Apply slave-block reservations announced by ``source``.
+
+        Every processor other than the announcing master adds ``block`` to its
+        belief about slave ``q``'s memory (``q`` itself skips its own entry:
+        it learns the true value when the slave task message arrives).
+        """
+        if not self.vectorized:
+            for view in self._views:
+                if view.owner == source:
+                    continue
+                for (q, block) in reservations:
+                    if q != view.owner:
+                        view.add_memory(q, block)
+            return
+        memory = self.memory
+        for (q, block) in reservations:
+            column = memory[:, q]
+            keep_source = column[source]
+            keep_self = column[q]
+            np.maximum(column + block, 0.0, out=column)
+            column[source] = keep_source
+            column[q] = keep_self

@@ -41,6 +41,7 @@ from repro.analysis.memory import subtree_stack_peaks
 from repro.mapping.layers import NodeType, StaticMapping, compute_mapping
 from repro.runtime.config import SimulationConfig
 from repro.runtime.events import EventQueue
+from repro.runtime.loadview import ViewBank
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.processor import ProcessorState
 from repro.runtime.tasks import Task, TaskKind
@@ -139,6 +140,7 @@ class FactorizationSimulator:
         slave_selector: SlaveSelector,
         task_selector: TaskSelector,
         strategy_name: str = "",
+        views: ViewBank | None = None,
     ) -> None:
         self.tree = tree
         self.config = config if config is not None else SimulationConfig()
@@ -166,8 +168,18 @@ class FactorizationSimulator:
             small_message_latency=self.config.memory_message_latency,
         )
         self.queue = EventQueue()
+        # all system views live in one bank: broadcast and reservation events
+        # touch every processor at once, which the bank applies as single
+        # numpy column updates instead of per-processor loops
+        if views is None:
+            views = ViewBank(self.config.nprocs)
+        if views.nprocs != self.config.nprocs:
+            raise ValueError("views.nprocs does not match config.nprocs")
+        views.reset()  # a reused bank must not leak a previous run's beliefs
+        self.views = views
         self.procs = [
-            ProcessorState(proc=p, nprocs=self.config.nprocs) for p in range(self.config.nprocs)
+            ProcessorState(proc=p, nprocs=self.config.nprocs, view=views.view(p))
+            for p in range(self.config.nprocs)
         ]
         for p in self.procs:
             p.memory.track_trace = self.config.track_traces
@@ -762,27 +774,10 @@ class FactorizationSimulator:
             raise ValueError(f"unexpected message kind {msg.kind}")
 
     def _handle_broadcast(self, kind: str, source: int, value: float) -> None:
-        for p in self.procs:
-            if p.proc == source:
-                continue
-            if kind == "memory":
-                p.view.set_memory(source, value)
-            elif kind == "load":
-                p.view.set_load(source, value)
-            elif kind == "subtree":
-                p.view.set_subtree_peak(source, value)
-            elif kind == "prediction":
-                p.view.set_predicted_master(source, value)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown broadcast kind {kind}")
+        self.views.apply_broadcast(kind, source, value)
 
     def _handle_reservation(self, source: int, reservations: list[tuple[int, float]]) -> None:
-        for p in self.procs:
-            if p.proc == source:
-                continue
-            for (q, block) in reservations:
-                if q != p.proc:
-                    p.view.add_memory(q, block)
+        self.views.apply_reservations(source, reservations)
 
     # ------------------------------------------------------------------ #
     # main loop

@@ -261,6 +261,12 @@ class SweepSpec:
         self.split_threshold = _axis(self.split_threshold, scalar_types=(int,))
         if self.problems == (None,):
             raise ValueError("SweepSpec needs at least one problem")
+        # an explicitly empty axis would otherwise surface as an opaque
+        # parse_spec(None) TypeError deep inside expand()
+        if self.orderings == (None,):
+            raise ValueError("SweepSpec needs at least one ordering")
+        if self.strategies == (None,):
+            raise ValueError("SweepSpec needs at least one strategy")
 
     def __len__(self) -> int:
         return (

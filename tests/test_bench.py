@@ -1,0 +1,457 @@
+"""Tests of the benchmark subsystem: env validation, the JSON result model,
+baseline comparison verdicts, and the ``repro bench`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchCase,
+    BenchEnv,
+    BenchEnvError,
+    BenchResult,
+    BenchRun,
+    BenchRunner,
+    PreparedCase,
+    SuiteInstance,
+    compare_runs,
+    default_baseline_path,
+    suite_names,
+)
+from repro.cli import main as repro_main
+
+
+# --------------------------------------------------------------------------- #
+# BenchEnv
+# --------------------------------------------------------------------------- #
+class TestBenchEnv:
+    def test_defaults_from_empty_environ(self):
+        env = BenchEnv.from_environ({})
+        assert env.nprocs == 32
+        assert env.scale == 0.6
+        assert env.jobs == 1
+        assert env.pipeline_jobs == 4
+        assert not env.no_speedup_check
+
+    def test_reads_every_variable(self):
+        env = BenchEnv.from_environ(
+            {
+                "REPRO_BENCH_NPROCS": "8",
+                "REPRO_BENCH_SCALE": "0.25",
+                "REPRO_BENCH_CACHE": "/tmp/c",
+                "REPRO_BENCH_JOBS": "2",
+                "REPRO_BENCH_PIPELINE_JOBS": "3",
+                "REPRO_BENCH_NO_SPEEDUP_CHECK": "1",
+            }
+        )
+        assert (env.nprocs, env.scale, env.cache) == (8, 0.25, "/tmp/c")
+        assert (env.jobs, env.pipeline_jobs, env.no_speedup_check) == (2, 3, True)
+
+    @pytest.mark.parametrize(
+        "variable, value",
+        [
+            ("REPRO_BENCH_SCALE", "0"),
+            ("REPRO_BENCH_SCALE", "-1"),
+            ("REPRO_BENCH_SCALE", "five"),
+            ("REPRO_BENCH_SCALE", "99"),
+            ("REPRO_BENCH_NPROCS", "0"),
+            ("REPRO_BENCH_NPROCS", "2.5"),
+            ("REPRO_BENCH_JOBS", "-3"),
+            ("REPRO_BENCH_JOBS", "two"),
+            ("REPRO_BENCH_PIPELINE_JOBS", "0"),
+        ],
+    )
+    def test_bad_values_raise_with_variable_name(self, variable, value):
+        with pytest.raises(BenchEnvError, match=variable):
+            BenchEnv.from_environ({variable: value})
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [("1", True), ("true", True), ("yes", True), ("0", False), ("false", False), ("", False)],
+    )
+    def test_no_speedup_check_parses_falsey_spellings(self, value, expected):
+        env = BenchEnv.from_environ({"REPRO_BENCH_NO_SPEEDUP_CHECK": value})
+        assert env.no_speedup_check is expected
+
+    def test_replace_validates_and_ignores_none(self):
+        env = BenchEnv.from_environ({})
+        assert env.replace(scale=None).scale == env.scale
+        assert env.replace(scale=0.2, nprocs=4) == BenchEnv(nprocs=4, scale=0.2, cache=env.cache)
+        with pytest.raises(BenchEnvError):
+            env.replace(scale=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# result model JSON round-trip
+# --------------------------------------------------------------------------- #
+def _sample_run() -> BenchRun:
+    run = BenchRun(host="testhost", timestamp="2026-07-26T00:00:00+00:00")
+    run.results.append(
+        BenchResult(
+            case=BenchCase("alpha", "pipeline", (("nprocs", 8), ("scale", 0.2))),
+            seconds=[0.5, 0.4, 0.6],
+            warmup=1,
+            metrics={"max_peak_stack": 123.0},
+        )
+    )
+    run.results.append(
+        BenchResult(case=BenchCase("broken", "pipeline"), error="Traceback: boom")
+    )
+    return run
+
+
+class TestModelRoundTrip:
+    def test_case_round_trip_and_key(self):
+        case = BenchCase("alpha", "pipeline", (("b", 2), ("a", 1)))
+        assert case.key == "pipeline/alpha"
+        assert BenchCase.from_dict(case.to_dict()) == case
+        # params are order-canonical
+        assert case == BenchCase("alpha", "pipeline", (("a", 1), ("b", 2)))
+
+    def test_result_statistics(self):
+        result = _sample_run().results[0]
+        assert result.best == 0.4
+        assert result.mean == pytest.approx(0.5)
+        assert result.repeats == 3
+        errored = _sample_run().results[1]
+        assert errored.best != errored.best  # NaN
+        assert errored.error is not None
+
+    def test_run_round_trips_through_json_file(self, tmp_path):
+        run = _sample_run()
+        path = tmp_path / "run.json"
+        run.save(str(path))
+        loaded = BenchRun.load(str(path))
+        assert loaded.to_dict() == run.to_dict()
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+        assert [r.case.key for r in loaded.errors] == ["pipeline/broken"]
+
+    def test_unsupported_schema_is_rejected(self):
+        payload = _sample_run().to_dict()
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            BenchRun.from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# baseline comparison
+# --------------------------------------------------------------------------- #
+def _run_with(cases: dict[str, float | None], host: str = "h") -> BenchRun:
+    """A run with one result per (key → best seconds); ``None`` = errored."""
+    run = BenchRun(host=host, timestamp="t")
+    for key, best in cases.items():
+        suite, name = key.split("/")
+        case = BenchCase(name, suite)
+        if best is None:
+            run.results.append(BenchResult(case=case, error="boom"))
+        else:
+            run.results.append(BenchResult(case=case, seconds=[best]))
+    return run
+
+
+class TestCompare:
+    def test_verdicts(self):
+        baseline = _run_with({"s/same": 1.0, "s/slower": 1.0, "s/faster": 1.0, "s/gone": 1.0})
+        current = _run_with(
+            {"s/same": 1.1, "s/slower": 1.5, "s/faster": 0.5, "s/added": 1.0}
+        )
+        report = compare_runs(current, baseline, tolerance=0.25)
+        verdicts = {d.key: d.verdict for d in report.deltas}
+        assert verdicts == {
+            "s/same": "within-tolerance",
+            "s/slower": "regression",
+            "s/faster": "improvement",
+            "s/added": "new",
+            "s/gone": "missing",
+        }
+        slower = next(d for d in report.deltas if d.key == "s/slower")
+        assert slower.ratio == pytest.approx(1.5)
+        assert slower.delta_percent == pytest.approx(50.0)
+
+    def test_identity_compare_is_all_within_tolerance(self):
+        run = _run_with({"s/a": 1.0, "s/b": 0.01})
+        report = compare_runs(run, run, tolerance=0.0)
+        assert all(d.verdict == "within-tolerance" for d in report.deltas)
+        assert not report.failed()
+
+    def test_failure_policy(self):
+        baseline = _run_with({"s/a": 1.0})
+        # a 1.5x slowdown fails by default...
+        report = compare_runs(_run_with({"s/a": 1.5}), baseline, tolerance=0.25)
+        assert report.failed()
+        # ...but passes a CI-style gate that only rejects >2x
+        assert not report.failed(max_regression=2.0)
+        assert compare_runs(_run_with({"s/a": 2.5}), baseline, tolerance=0.25).failed(
+            max_regression=2.0
+        )
+        # hard errors always fail, whatever the thresholds
+        errored = compare_runs(_run_with({"s/a": None}), baseline, tolerance=0.25)
+        assert errored.deltas[0].verdict == "error"
+        assert errored.failed(max_regression=100.0)
+
+    def test_zero_overlap_fails_the_gate(self):
+        # renamed cases (or a baseline from a failed run) must not pass green
+        report = compare_runs(
+            _run_with({"s/renamed": 1.0}), _run_with({"s/old-name": 1.0}), tolerance=0.25
+        )
+        assert {d.verdict for d in report.deltas} == {"new", "missing"}
+        assert report.failed()
+        assert report.failed(max_regression=2.0)
+        # a genuinely added case next to matched ones is still fine
+        ok = compare_runs(
+            _run_with({"s/kept": 1.0, "s/added": 1.0}), _run_with({"s/kept": 1.0})
+        )
+        assert not ok.failed()
+
+    def test_partial_missing_fails_but_unrun_suites_are_out_of_scope(self):
+        baseline = _run_with({"s/kept": 1.0, "s/dropped": 1.0, "other/x": 1.0})
+        current = _run_with({"s/kept": 1.0})
+        report = compare_runs(current, baseline, tolerance=0.25)
+        verdicts = {d.key: d.verdict for d in report.deltas}
+        # lost coverage within a suite that ran fails the gate...
+        assert verdicts["s/dropped"] == "missing"
+        assert report.failed()
+        assert report.failed(max_regression=100.0)
+        # ...but a suite absent from the current run is simply out of scope
+        assert "other/x" not in verdicts
+
+    def test_config_mismatch_is_flagged_and_fails(self):
+        def run_at(scale: float) -> BenchRun:
+            run = BenchRun(host="h", timestamp="t")
+            run.results.append(
+                BenchResult(case=BenchCase("a", "s", (("scale", scale),)), seconds=[1.0])
+            )
+            return run
+
+        report = compare_runs(run_at(0.2), run_at(0.6), tolerance=0.25)
+        assert [d.verdict for d in report.deltas] == ["config-mismatch"]
+        assert report.failed()
+        assert report.failed(max_regression=100.0)
+        # identical knobs compare normally
+        assert not compare_runs(run_at(0.2), run_at(0.2)).failed()
+
+    def test_tolerance_validation(self):
+        run = _run_with({"s/a": 1.0})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_runs(run, run, tolerance=1.5)
+
+    def test_report_json_shape(self):
+        report = compare_runs(_run_with({"s/a": 2.0}), _run_with({"s/a": 1.0}))
+        data = report.to_dict()
+        assert data["failed"] is True
+        assert data["deltas"][0]["verdict"] == "regression"
+        assert "summary" in data
+
+    def test_report_json_is_strictly_parseable_with_unpaired_cases(self):
+        # new/missing/error deltas carry NaN internally; JSON must get null
+        report = compare_runs(
+            _run_with({"s/added": 1.0, "s/err": None}), _run_with({"s/gone": 1.0})
+        )
+        text = json.dumps(report.to_dict())
+        assert "NaN" not in text
+        deltas = {d["key"]: d for d in json.loads(text)["deltas"]}
+        assert deltas["s/added"]["baseline_seconds"] is None
+        assert deltas["s/gone"]["current_seconds"] is None
+        assert deltas["s/err"]["ratio"] is None
+
+    def test_report_json_failed_honours_max_regression(self):
+        # the artifact and the exit code must tell the same story
+        report = compare_runs(_run_with({"s/a": 1.5}), _run_with({"s/a": 1.0}), tolerance=0.25)
+        assert report.to_dict()["failed"] is True
+        relaxed = report.to_dict(max_regression=2.0)
+        assert relaxed["failed"] is False
+        assert relaxed["max_regression"] == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# runner
+# --------------------------------------------------------------------------- #
+class TestBenchRunner:
+    def test_warmup_and_repeats_with_fake_timer(self):
+        calls = []
+        ticks = iter(range(100))
+
+        def fn():
+            calls.append("run")
+            return {"value": 1.0}
+
+        prepared = PreparedCase(
+            case=BenchCase("c", "s"), fn=fn, repeats=3, warmup=2
+        )
+        runner = BenchRunner(BenchEnv.from_environ({}), timer=lambda: float(next(ticks)))
+        result = runner.run_case(prepared)
+        assert len(calls) == 5  # 2 warmups + 3 timed repeats
+        assert result.seconds == [1.0, 1.0, 1.0]
+        assert result.warmup == 2
+        assert result.metrics == {"value": 1.0}
+
+    def test_global_overrides_and_validation(self):
+        prepared = PreparedCase(case=BenchCase("c", "s"), fn=lambda: None, repeats=5, warmup=3)
+        runner = BenchRunner(BenchEnv.from_environ({}), repeats=1, warmup=0)
+        assert runner.run_case(prepared).repeats == 1
+        with pytest.raises(ValueError):
+            BenchRunner(repeats=0)
+        with pytest.raises(ValueError):
+            BenchRunner(warmup=-1)
+
+    def test_case_error_is_captured_not_raised(self):
+        def explode():
+            raise RuntimeError("kaboom")
+
+        runner = BenchRunner(BenchEnv.from_environ({}))
+        result = runner.run_case(PreparedCase(case=BenchCase("c", "s"), fn=explode))
+        assert result.seconds == []
+        assert "kaboom" in result.error
+
+    def test_suite_registry_names(self):
+        assert {"pipeline", "tables", "ablations", "components"} <= set(suite_names())
+
+    def test_suite_build_failure_is_recorded_not_raised(self, monkeypatch):
+        from repro.bench import suites as suites_mod
+
+        def broken_build(env):
+            raise RuntimeError("analysis chain broke")
+
+        monkeypatch.setitem(
+            suites_mod.SUITES._entries,
+            "broken",
+            type(suites_mod.SUITES.entry("pipeline"))(
+                name="broken", value=broken_build, description="", params={}
+            ),
+        )
+        runner = BenchRunner(BenchEnv.from_environ({}))
+        run = runner.run_suites(["broken"])
+        assert [r.case.key for r in run.results] == ["broken/broken-build"]
+        assert "analysis chain broke" in run.results[0].error
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestBenchCli:
+    def test_list_json(self, capsys):
+        assert repro_main(["bench", "list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} >= {"pipeline", "tables"}
+
+    def test_unknown_suite_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["bench", "run", "--suite", "nope"])
+        assert excinfo.value.code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_suite_all_cannot_be_combined(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["bench", "run", "--suite", "all,components"])
+        assert excinfo.value.code == 2
+        assert "don't combine" in capsys.readouterr().err
+
+    def test_flag_errors_name_the_flag_not_the_env_var(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["bench", "run", "--scale", "0"])
+        err = capsys.readouterr().err
+        assert "--scale" in err and "REPRO_BENCH_SCALE" not in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["bench", "run", "--scale", "0"],
+            ["bench", "run", "--nprocs", "0"],
+            ["bench", "run", "--repeats", "0"],
+            ["bench", "run", "--warmup", "-1"],
+            ["bench", "compare", "a.json", "b.json", "--tolerance", "1.5"],
+            ["bench", "compare", "a.json", "b.json", "--max-regression", "0.9"],
+            ["bench", "run", "--baseline", "b.json", "--tolerance", "1.5"],
+            ["bench", "run", "--baseline", "b.json", "--max-regression", "1.0"],
+            ["bench", "run", "--format", "yaml"],
+            ["bench"],
+        ],
+    )
+    def test_argument_validation(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(argv)
+        assert excinfo.value.code == 2
+
+    def test_compare_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["bench", "compare", missing, missing])
+        assert "not found" in str(excinfo.value)
+
+    def test_run_save_and_self_compare_end_to_end(self, tmp_path, capsys):
+        out = str(tmp_path / "run.json")
+        code = repro_main(
+            [
+                "bench", "run", "--suite", "components", "--scale", "0.15",
+                "--repeats", "1", "--warmup", "0", "--quiet",
+                "--format", "json", "--save", out,
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert all(r["case"]["suite"] == "components" for r in payload["results"])
+        assert BenchRun.load(out).to_dict() == payload
+
+        assert repro_main(["bench", "compare", out, out, "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["failed"] is False
+        assert all(d["verdict"] == "within-tolerance" for d in report["deltas"])
+
+    def test_run_with_baseline_json_is_one_document(self, tmp_path, capsys):
+        out = str(tmp_path / "run.json")
+        assert repro_main(
+            [
+                "bench", "run", "--suite", "components", "--scale", "0.15",
+                "--repeats", "1", "--warmup", "0", "--quiet",
+                "--format", "json", "--save", out,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert repro_main(
+            [
+                "bench", "run", "--suite", "components", "--scale", "0.15",
+                "--repeats", "1", "--warmup", "0", "--quiet",
+                "--format", "json", "--baseline", out,
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)  # must parse as ONE document
+        assert set(payload) == {"run", "compare"}
+        assert payload["compare"]["failed"] is False
+
+    def test_default_baseline_path_shape(self):
+        path = default_baseline_path(host="box", directory="/tmp/x")
+        assert path.endswith("BENCH_box.json")
+
+    def test_save_creates_missing_directories(self, tmp_path):
+        run = _sample_run()
+        path = tmp_path / "deep" / "nested" / "run.json"
+        run.save(str(path))
+        assert BenchRun.load(str(path)).to_dict() == run.to_dict()
+
+    def test_flag_first_bench_is_a_clear_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["--nprocs", "8", "bench"])
+        assert excinfo.value.code == 2
+        assert "'bench' must come first" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# pytest-shim compatibility: suites must build against a tiny env
+# --------------------------------------------------------------------------- #
+def test_pipeline_suite_builds_and_closes():
+    from repro.bench import build_suite
+
+    env = BenchEnv.from_environ({}).replace(scale=0.1, nprocs=4)
+    instance = build_suite("pipeline", env)
+    try:
+        assert isinstance(instance, SuiteInstance)
+        names = [c.case.name for c in instance.cases]
+        assert "sweep-serial-cold" in names
+        assert any(name.startswith("simulate-") for name in names)
+    finally:
+        instance.close()
