@@ -18,6 +18,11 @@ failing only on >2× slowdowns (the CI perf-gate invocation)::
     python -m repro bench compare current.json benchmarks/baselines/ci-ubuntu.json \\
         --tolerance 0.4 --max-regression 2.0
 
+Hunt a hot path: profile every case of a suite and print the top 10
+functions by cumulative time (also embedded in ``--format json`` output)::
+
+    python -m repro bench run --suite pipeline --profile 10
+
 List the available suites::
 
     python -m repro bench list --format json
@@ -72,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--format", choices=("json", "csv", "md"), default="md", help="stdout format (default md)")
     run.add_argument("--quiet", action="store_true", help="disable the per-case progress lines on stderr")
+    run.add_argument(
+        "--profile", nargs="?", const=15, default=None, type=int, metavar="TOP",
+        help="cProfile each case once after the timed repeats and report the top "
+        "TOP functions by cumulative time (default 15); included in --format json",
+    )
 
     comp = sub.add_parser("compare", help="compare a result file against a baseline file")
     comp.add_argument("current", help="result JSON produced by 'bench run --save'")
@@ -136,12 +146,30 @@ def render_run(run: BenchRun, fmt: str) -> str:
         )
         for r in run.results
     ]
-    return _render_table(
+    out = _render_table(
         ("suite", "case", "best_s", "mean_s", "repeats", "warmup", "status"),
         rows,
         fmt,
         title=f"bench run — host {run.host}, {run.timestamp}",
     )
+    if fmt == "md":
+        profiles = [r for r in run.results if r.profile]
+        for r in profiles:
+            out += "\n\n" + _render_table(
+                ("function", "ncalls", "tottime_s", "cumtime_s"),
+                [
+                    (
+                        row["function"],
+                        str(row["ncalls"]),
+                        f"{row['tottime']:.4f}",
+                        f"{row['cumtime']:.4f}",
+                    )
+                    for row in r.profile
+                ],
+                fmt,
+                title=f"profile — {r.case.key} (top {len(r.profile)} by cumulative time)",
+            )
+    return out
 
 
 def render_report(
@@ -234,6 +262,8 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error("--repeats must be >= 1")
     if args.warmup is not None and args.warmup < 0:
         parser.error("--warmup must be >= 0")
+    if args.profile is not None and args.profile < 1:
+        parser.error("--profile expects a positive top-N function count")
     _validate_compare_flags(parser, args)
     try:
         env = BenchEnv.from_environ().replace(
@@ -255,6 +285,7 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         repeats=args.repeats,
         warmup=args.warmup,
         progress=None if args.quiet else _progress,
+        profile_top=args.profile,
     )
     run = runner.run_suites(suites)
     report = None

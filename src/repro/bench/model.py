@@ -82,6 +82,9 @@ class BenchResult:
     warmup: int = 0
     metrics: dict[str, float] = field(default_factory=dict)
     error: str | None = None
+    #: optional cProfile digest (``repro bench run --profile``): the top-N
+    #: functions by cumulative time of one untimed post-measurement run.
+    profile: list[dict] | None = None
 
     @property
     def best(self) -> float:
@@ -104,16 +107,20 @@ class BenchResult:
         }
         if self.error is not None:
             data["error"] = self.error
+        if self.profile is not None:
+            data["profile"] = [dict(row) for row in self.profile]
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BenchResult":
+        profile = data.get("profile")
         return cls(
             case=BenchCase.from_dict(data["case"]),  # type: ignore[arg-type]
             seconds=[float(s) for s in data.get("seconds", ())],  # type: ignore[union-attr]
             warmup=int(data.get("warmup", 0)),  # type: ignore[arg-type]
             metrics={str(k): float(v) for k, v in (data.get("metrics") or {}).items()},  # type: ignore[union-attr]
             error=data.get("error"),  # type: ignore[arg-type]
+            profile=[dict(row) for row in profile] if profile is not None else None,  # type: ignore[union-attr]
         )
 
 

@@ -9,6 +9,8 @@ and error capture so one broken case never voids a whole run.
 
 from __future__ import annotations
 
+import cProfile
+import pstats
 import time
 import traceback
 from typing import Callable, Optional, Sequence
@@ -34,6 +36,12 @@ class BenchRunner:
         Monotonic clock used around each repeat (injectable for tests).
     progress:
         Optional callback ``(case, result)`` invoked after each case.
+    profile_top:
+        When set, each case runs once more under :mod:`cProfile` *after* the
+        timed repeats (so profiling overhead never pollutes the timings) and
+        the top ``profile_top`` functions by cumulative time are attached to
+        the result (``BenchResult.profile``) — the ``repro bench run
+        --profile`` hot-path hunting mode.
     """
 
     def __init__(
@@ -44,16 +52,20 @@ class BenchRunner:
         warmup: int | None = None,
         timer: Callable[[], float] = time.perf_counter,
         progress: Optional[Callable[[PreparedCase, BenchResult], None]] = None,
+        profile_top: int | None = None,
     ) -> None:
         if repeats is not None and repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
         if warmup is not None and warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if profile_top is not None and profile_top < 1:
+            raise ValueError(f"profile_top must be >= 1, got {profile_top}")
         self.env = env if env is not None else BenchEnv.from_environ()
         self.repeats = repeats
         self.warmup = warmup
         self.timer = timer
         self.progress = progress
+        self.profile_top = profile_top
 
     # ------------------------------------------------------------------ #
     def run_case(self, prepared: PreparedCase) -> BenchResult:
@@ -73,9 +85,49 @@ class BenchRunner:
         except Exception:
             result.seconds = []
             result.error = traceback.format_exc(limit=8)
+        if self.profile_top is not None and result.error is None:
+            # a failure of the optional profiling pass must never void the
+            # timings already collected above
+            try:
+                result.profile = self._profile_case(prepared, self.profile_top)
+            except Exception:
+                result.profile = [
+                    {
+                        "function": "<profiling failed>: "
+                        + traceback.format_exc(limit=2).strip().splitlines()[-1],
+                        "ncalls": 0,
+                        "tottime": 0.0,
+                        "cumtime": 0.0,
+                    }
+                ]
         if self.progress is not None:
             self.progress(prepared, result)
         return result
+
+    @staticmethod
+    def _profile_case(prepared: PreparedCase, top: int) -> list[dict]:
+        """One extra cProfile'd execution, digested to the top-N cumulative rows."""
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            prepared.fn()
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        rows: list[dict] = []
+        for func in stats.fcn_list[:top]:
+            _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+            filename, line, name = func
+            rows.append(
+                {
+                    "function": f"{filename}:{line}({name})",
+                    "ncalls": int(ncalls),
+                    "tottime": float(tottime),
+                    "cumtime": float(cumtime),
+                }
+            )
+        return rows
 
     def run_suites(self, names: Sequence[str]) -> BenchRun:
         """Build and execute every named suite, in order, into one run.

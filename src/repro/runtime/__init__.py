@@ -12,18 +12,28 @@ contribution blocks in *entries* — the unit of every table of the paper.
 """
 
 from repro.runtime.config import SimulationConfig
-from repro.runtime.events import EventQueue
+from repro.runtime.events import EventQueue, FlatEventQueue
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.memory_state import ProcessorMemory
 from repro.runtime.loadview import SystemView, ViewBank
 from repro.runtime.tasks import Task, TaskKind
 from repro.runtime.processor import ProcessorState
-from repro.runtime.simulator import FactorizationSimulator, SimulationResult
+from repro.runtime.simulator import (
+    SIM_ENGINE_ENV,
+    SIM_ENGINES,
+    FactorizationSimulator,
+    SimulationResult,
+    resolve_engine,
+)
 from repro.runtime.trace import SimulationTrace
 
 __all__ = [
     "SimulationConfig",
     "EventQueue",
+    "FlatEventQueue",
+    "SIM_ENGINES",
+    "SIM_ENGINE_ENV",
+    "resolve_engine",
     "CommunicationModel",
     "Message",
     "MessageKind",

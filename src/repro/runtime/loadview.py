@@ -17,10 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.events import BK_MEMORY, BROADCAST_KIND_IDS
+
 __all__ = ["SystemView", "ViewBank"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemView:
     """What one processor believes about the whole system."""
 
@@ -128,19 +130,14 @@ class ViewBank:
     the identity tests run both modes and require bit-equal simulations.
     """
 
-    #: broadcast kind (as used by the simulator's event payloads) → matrix.
-    _ARRAY_OF_KIND = {
-        "memory": "memory",
-        "load": "load",
-        "subtree": "subtree_peak",
-        "prediction": "predicted_master",
-    }
-    _SETTER_OF_KIND = {
-        "memory": SystemView.set_memory,
-        "load": SystemView.set_load,
-        "subtree": SystemView.set_subtree_peak,
-        "prediction": SystemView.set_predicted_master,
-    }
+    #: per-kind scalar setters, indexed by the events.BK_* kind ids (same
+    #: order as the ``_kind_arrays`` matrix bank).
+    _SETTERS = (
+        SystemView.set_memory,
+        SystemView.set_load,
+        SystemView.set_subtree_peak,
+        SystemView.set_predicted_master,
+    )
 
     def __init__(self, nprocs: int, *, vectorized: bool = True) -> None:
         if nprocs < 1:
@@ -152,6 +149,9 @@ class ViewBank:
             self.load = np.zeros((nprocs, nprocs), dtype=np.float64)
             self.subtree_peak = np.zeros((nprocs, nprocs), dtype=np.float64)
             self.predicted_master = np.zeros((nprocs, nprocs), dtype=np.float64)
+            # kind-id → matrix, indexed consistently with events.BK_* (the
+            # fast engine's integer-tagged broadcasts land here directly)
+            self._kind_arrays = (self.memory, self.load, self.subtree_peak, self.predicted_master)
             self._views = [
                 SystemView(
                     nprocs=nprocs,
@@ -188,25 +188,35 @@ class ViewBank:
     def apply_broadcast(self, kind: str, source: int, value: float) -> None:
         """Deliver one broadcast to every processor except the sender.
 
-        Equivalent to calling the per-kind setter on each non-source view;
-        the sender's own row is untouched (it always knows its exact state
-        and updated it when the broadcast was emitted).
+        Validates the kind name and delegates to :meth:`apply_broadcast_kind`
+        — a single implementation serves both the string-tagged reference
+        payloads and the fast engine's integer tags.
         """
         try:
-            attr = self._ARRAY_OF_KIND[kind]
+            kind_id = BROADCAST_KIND_IDS[kind]
         except KeyError:
             raise ValueError(f"unknown broadcast kind {kind}") from None
+        self.apply_broadcast_kind(kind_id, source, value)
+
+    def apply_broadcast_kind(self, kind_id: int, source: int, value: float) -> None:
+        """Deliver one broadcast addressed by integer kind id (fast engine).
+
+        Equivalent to calling the per-kind setter on each non-source view;
+        the sender's own row is untouched (it always knows its exact state
+        and updated it when the broadcast was emitted).  The integer id skips
+        the name → matrix lookup on the per-event hot path.
+        """
         if not self.vectorized:
-            setter = self._SETTER_OF_KIND[kind]
+            setter = self._SETTERS[kind_id]
             for view in self._views:
                 if view.owner != source:
                     setter(view, source, value)
             return
-        if kind != "memory":
+        if kind_id != BK_MEMORY:
             # the scalar setters clamp at zero; one scalar max keeps the
             # column assignment bit-identical to the per-view calls
             value = max(float(value), 0.0)
-        column = getattr(self, attr)[:, source]
+        column = self._kind_arrays[kind_id][:, source]
         keep = column[source]
         column[:] = value
         column[source] = keep

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 __all__ = ["ProcessorMemory"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessorMemory:
     """Memory state of one simulated processor (all values in entries)."""
 

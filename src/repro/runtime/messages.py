@@ -32,7 +32,7 @@ class MessageKind(Enum):
     ROOT_READY = auto()         # the type-3 root node became ready
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message travelling between two simulated processors."""
 

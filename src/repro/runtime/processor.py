@@ -18,7 +18,7 @@ from repro.runtime.tasks import Task
 __all__ = ["ProcessorState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessorState:
     """Dynamic state of one processor during the simulated factorization."""
 

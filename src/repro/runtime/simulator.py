@@ -10,6 +10,26 @@ in the local pools — are delegated to strategy objects from
 memory-based strategies run on an identical substrate and their stack peaks
 can be compared head to head.
 
+Two event engines execute the same simulation (selected with the
+``engine=`` argument or the ``REPRO_SIM_ENGINE`` environment variable, see
+``docs/benchmarks.md`` for the full anatomy):
+
+``fast`` (default)
+    Events are raw ``(time, seq, tag_id, a, b, c)`` tuples popped off a flat
+    heap and dispatched through a handler table indexed by the integer tag;
+    broadcast storms that share a timestamp are coalesced into a single
+    :class:`~repro.runtime.loadview.ViewBank` column update; per-node
+    geometry (flops, activation memory, candidate lists) is precomputed as
+    numpy arrays at ``_setup``; the built-in task selectors are inlined so a
+    scheduling decision does not copy the pool or build a context object.
+
+``reference``
+    The historical event core — one :class:`ScheduledEvent` dataclass per
+    event, string-tagged payloads dispatched through an if/elif chain,
+    per-decision candidate list building and context-based task selection —
+    kept executable so the fuzz suite can pin the fast engine bit-identical
+    to it (``tests/test_engine_identity.py``).
+
 Faithfulness notes (documented simplifications):
 
 * contribution blocks produced by the children of a node are routed to the
@@ -26,8 +46,10 @@ Faithfulness notes (documented simplifications):
 
 from __future__ import annotations
 
+import heapq
+import os
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -37,10 +59,17 @@ from repro.analysis.flops import (
     type2_slave_factor_entries,
     type2_slave_flops,
 )
-from repro.analysis.memory import subtree_stack_peaks
 from repro.mapping.layers import NodeType, StaticMapping, compute_mapping
 from repro.runtime.config import SimulationConfig
-from repro.runtime.events import EventQueue
+from repro.runtime.events import (
+    EV_BROADCAST,
+    EV_KICK,
+    EV_MESSAGE,
+    EV_RESERVATION,
+    EV_TASK_DONE,
+    EventQueue,
+    FlatEventQueue,
+)
 from repro.runtime.loadview import ViewBank
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.processor import ProcessorState
@@ -53,9 +82,39 @@ from repro.scheduling.base import (
     TaskSelector,
     normalize_row_distribution,
 )
-from repro.symbolic.liu_order import order_children_for_memory
+from repro.scheduling.task_selection import (
+    FifoTaskSelector,
+    LifoTaskSelector,
+    MemoryAwareTaskSelector,
+)
+from repro.symbolic.liu_order import order_children_for_memory, subtree_peaks_given_order
 
-__all__ = ["FactorizationSimulator", "SimulationResult"]
+__all__ = [
+    "FactorizationSimulator",
+    "SimulationResult",
+    "SIM_ENGINES",
+    "SIM_ENGINE_ENV",
+    "resolve_engine",
+]
+
+#: the two event engines; both produce bit-identical :class:`SimulationResult`.
+SIM_ENGINES = ("fast", "reference")
+
+#: environment variable selecting the engine when ``engine=None``.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve the engine name (argument first, then environment, then fast)."""
+    if engine is None:
+        engine = os.environ.get(SIM_ENGINE_ENV) or "fast"
+    engine = str(engine).strip().lower()
+    if engine not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulator engine {engine!r}: choose one of {SIM_ENGINES} "
+            f"(or set {SIM_ENGINE_ENV})"
+        )
+    return engine
 
 
 @dataclass
@@ -141,9 +200,11 @@ class FactorizationSimulator:
         task_selector: TaskSelector,
         strategy_name: str = "",
         views: ViewBank | None = None,
+        engine: str | None = None,
     ) -> None:
         self.tree = tree
         self.config = config if config is not None else SimulationConfig()
+        self.engine = resolve_engine(engine)
         if mapping is None:
             mapping = compute_mapping(
                 tree,
@@ -167,7 +228,9 @@ class FactorizationSimulator:
             bandwidth_entries=self.config.bandwidth_entries,
             small_message_latency=self.config.memory_message_latency,
         )
-        self.queue = EventQueue()
+        # both queues order events by (time, seq) and receive identical push
+        # sequences, so the two engines pop events in exactly the same order
+        self.queue = FlatEventQueue() if self.engine == "fast" else EventQueue()
         # all system views live in one bank: broadcast and reservation events
         # touch every processor at once, which the bank applies as single
         # numpy column updates instead of per-processor loops
@@ -186,7 +249,11 @@ class FactorizationSimulator:
         self.node_state = [
             _NodeState(len(tree.children(i))) for i in range(tree.nnodes)
         ]
-        self.subtree_peaks = subtree_stack_peaks(tree)
+        # Liu's child ordering is deterministic in the tree alone: computed
+        # once and shared by the subtree peaks and every pool initialisation
+        # (the seed engine recomputed it once per processor)
+        self._liu_order = order_children_for_memory(tree)
+        self.subtree_peaks = subtree_peaks_given_order(tree, self._liu_order)
         self.message_counts: dict[str, int] = defaultdict(int)
         self.slave_selections = 0
         # upper-layer tasks owned by a processor whose activation is imminent
@@ -195,54 +262,110 @@ class FactorizationSimulator:
         self._finished_nodes = 0
         self._ran = False
 
+        if self.engine == "fast":
+            self._try_start = self._try_start_fast
+            self._fast_task_pick = self._resolve_fast_task_pick()
+        else:
+            self._try_start = self._try_start_reference
+
     # ------------------------------------------------------------------ #
-    # geometry helpers
+    # geometry helpers (fast scalar reads of the arrays built in _setup)
     # ------------------------------------------------------------------ #
     def _node_flops(self, node: int) -> float:
-        if self.mapping.node_type[node] == int(NodeType.TYPE2):
-            return self.tree.type2_master_flops(node)
-        return self.tree.factor_flops(node)
+        return self._task_flops[node]
 
     def _activation_memory(self, node: int) -> float:
         """Entries added to the owner's stack when the node's task is activated."""
-        kind = int(self.mapping.node_type[node])
-        if kind == int(NodeType.TYPE2):
-            return float(self.tree.master_entries(node))
-        if kind == int(NodeType.TYPE3):
-            return float(self.tree.front_entries(node)) / self.config.nprocs
-        return float(self.tree.front_entries(node))
+        return self._task_memory[node]
 
     def _make_static_task(self, node: int) -> Task:
-        kind = int(self.mapping.node_type[node])
-        in_subtree = int(self.mapping.subtree_of[node])
-        owner = int(self.mapping.owner[node])
-        if kind == int(NodeType.TYPE2):
+        if self._node_type[node] == _TYPE2:
             task_kind = TaskKind.TYPE2_MASTER
         else:
             task_kind = TaskKind.TYPE1
         return Task(
             kind=task_kind,
             node=node,
-            proc=owner,
-            flops=self._node_flops(node),
-            memory_cost=self._activation_memory(node),
-            in_subtree=in_subtree,
+            proc=self._owner[node],
+            flops=self._task_flops[node],
+            memory_cost=self._task_memory[node],
+            in_subtree=self._subtree_of[node],
         )
 
     # ------------------------------------------------------------------ #
     # setup
     # ------------------------------------------------------------------ #
-    def _initial_pool_order(self, proc: int) -> list[int]:
+    def _precompute_geometry(self) -> None:
+        """Per-node scheduling geometry as numpy arrays (plus fast scalar lists).
+
+        Every quantity is produced by the same integer/float expressions the
+        scalar tree methods use (vectorized elementwise, no reductions), so
+        the values are bit-identical to recomputing them per task — the seed
+        engine's behaviour — while costing one array pass per run.
+        """
+        if getattr(self, "_geometry_ready", False):
+            return
+        tree = self.tree
+        cfg = self.config
+        node_type = np.asarray(self.mapping.node_type, dtype=np.int64)
+        front = tree.front_entries_all().astype(np.float64)
+        master = tree.master_entries_all().astype(np.float64)
+        is_type2 = node_type == int(NodeType.TYPE2)
+        is_type3 = node_type == int(NodeType.TYPE3)
+
+        # flops of the node's pool task (master part for type 2) and entries
+        # added to the owner's stack at activation, built as whole-tree numpy
+        # arrays and mirrored to plain lists for the scalar per-event reads
+        task_flops = np.where(is_type2, tree.type2_master_flops_all(), tree.factor_flops_all())
+        task_memory = np.where(is_type2, master, np.where(is_type3, front / cfg.nprocs, front))
+        self._task_flops = task_flops.tolist()
+        self._task_memory = task_memory.tolist()
+        self._front_entries = front.tolist()
+        self._factor_entries = tree.factor_entries_all().astype(np.float64).tolist()
+        self._cb_entries = tree.cb_entries_all().astype(np.float64).tolist()
+        self._master_entries = master.tolist()
+        self._assembly_flops = tree.assembly_flops_all().tolist()
+        self._npiv = tree.npiv.tolist()
+        self._nfront = tree.nfront.tolist()
+        self._node_type = node_type.tolist()
+        self._owner = np.asarray(self.mapping.owner, dtype=np.int64).tolist()
+        self._subtree_of = np.asarray(self.mapping.subtree_of, dtype=np.int64).tolist()
+        self._parent = tree.parent.tolist()
+        self._children = tree.child_lists() if hasattr(tree, "child_lists") else [
+            tree.children(i) for i in range(tree.nnodes)
+        ]
+        self._tree_leaves = tree.leaves()
+
+        if self.engine == "fast":
+            # candidate lists of every type-2 node are static (the master is
+            # the node's owner): precompute them instead of rebuilding one
+            # list per slave selection
+            self._type2_candidates = {}
+            for node in np.nonzero(is_type2)[0].tolist():
+                owner = self._owner[node]
+                cands = [q for q in self.mapping.candidates.get(node, []) if q != owner]
+                if not cands:
+                    cands = [q for q in range(cfg.nprocs) if q != owner]
+                self._type2_candidates[node] = cands
+        # only flag readiness once every array exists: a mid-build failure
+        # must surface again at the next call, not as a distant AttributeError
+        self._geometry_ready = True
+
+    def _initial_pool_order(self, proc: int, my_subtrees: list[int] | None = None) -> list[int]:
         """Leaf nodes assigned to ``proc`` in the order they should be processed.
 
         Leaves are grouped per subtree and, inside each subtree, listed in the
         order a depth-first traversal with Liu's child ordering would reach
-        them — the pool initialisation described in Section 5.2.
+        them — the pool initialisation described in Section 5.2.  ``_setup``
+        passes the precomputed owner → subtree-roots grouping; standalone
+        callers (e.g. the Figure 7 harness) may omit it.
         """
-        liu = order_children_for_memory(self.tree)
-        my_subtrees = [
-            r for r in self.mapping.subtree_roots if int(self.mapping.owner[r]) == proc
-        ]
+        self._precompute_geometry()
+        if my_subtrees is None:
+            my_subtrees = [
+                r for r in self.mapping.subtree_roots if self._owner[r] == proc
+            ]
+        liu = self._liu_order
         order: list[int] = []
         for r in sorted(my_subtrees):
             stack = [(r, 0)]
@@ -259,11 +382,11 @@ class FactorizationSimulator:
                     stack.append((children[idx], 0))
             order.extend(visit)
         # upper-layer leaves owned by this processor (rare but possible)
-        for i in self.tree.leaves():
+        for i in self._tree_leaves:
             if (
-                int(self.mapping.subtree_of[i]) < 0
-                and int(self.mapping.owner[i]) == proc
-                and int(self.mapping.node_type[i]) != int(NodeType.TYPE3)
+                self._subtree_of[i] < 0
+                and self._owner[i] == proc
+                and self._node_type[i] != _TYPE3
             ):
                 order.append(i)
         return order
@@ -271,10 +394,14 @@ class FactorizationSimulator:
     def _setup(self) -> None:
         tree = self.tree
         cfg = self.config
+        self._precompute_geometry()
         # initial workloads: cost of the statically assigned subtrees
         initial_load = np.zeros(cfg.nprocs, dtype=np.float64)
+        subtrees_of_proc: list[list[int]] = [[] for _ in range(cfg.nprocs)]
         for r in self.mapping.subtree_roots:
-            initial_load[int(self.mapping.owner[r])] += tree.subtree_flops(r)
+            owner = self._owner[r]
+            initial_load[owner] += tree.subtree_flops(r)
+            subtrees_of_proc[owner].append(r)
         for p in self.procs:
             p.load_remaining = float(initial_load[p.proc])
             # everyone starts with the same (exact) static knowledge of the loads
@@ -283,17 +410,17 @@ class FactorizationSimulator:
 
         # initial pools: the leaves, deepest-first subtree by subtree
         for p in self.procs:
-            processing_order = self._initial_pool_order(p.proc)
+            processing_order = self._initial_pool_order(p.proc, subtrees_of_proc[p.proc])
             for node in reversed(processing_order):
                 p.push_ready_task(self._make_static_task(node))
 
         # a single-node tree (or type-3 leaves) must still start somewhere
-        for i in tree.leaves():
-            if int(self.mapping.node_type[i]) == int(NodeType.TYPE3):
+        for i in self._tree_leaves:
+            if self._node_type[i] == _TYPE3:
                 self._root_ready(i, 0.0)
 
         for p in range(cfg.nprocs):
-            self.queue.push(0.0, ("kick", p))
+            self.queue.push_kick(0.0, p)
 
     # ------------------------------------------------------------------ #
     # broadcasts and views
@@ -303,7 +430,7 @@ class FactorizationSimulator:
             return
         if delay is None:
             delay = self.comm.notification_time()
-        self.queue.push_after(delay, ("broadcast", kind, source, value))
+        self.queue.push_broadcast_after(delay, kind, source, value)
         self.message_counts[kind] += self.config.nprocs - 1
 
     def _memory_changed(self, proc: int) -> None:
@@ -314,7 +441,7 @@ class FactorizationSimulator:
             p.last_broadcast_memory = value
             self._broadcast("memory", proc, value)
         # a processor always knows its own memory exactly
-        p.view.set_memory(proc, value)
+        p.view.memory[proc] = value
 
     def _load_changed(self, proc: int) -> None:
         p = self.procs[proc]
@@ -322,7 +449,7 @@ class FactorizationSimulator:
         if value != p.last_broadcast_load:
             p.last_broadcast_load = value
             self._broadcast("load", proc, value)
-        p.view.set_load(proc, value)
+        p.view.load[proc] = max(value, 0.0)
 
     def _prediction_changed(self, proc: int) -> None:
         p = self.procs[proc]
@@ -330,18 +457,19 @@ class FactorizationSimulator:
         if value != p.last_broadcast_prediction:
             p.last_broadcast_prediction = value
             self._broadcast("prediction", proc, value)
-        p.view.set_predicted_master(proc, value)
+        p.view.predicted_master[proc] = max(value, 0.0)
 
     def _subtree_changed(self, proc: int, value: float) -> None:
         p = self.procs[proc]
         p.current_subtree_peak = value
-        p.view.set_subtree_peak(proc, value)
+        p.view.subtree_peak[proc] = max(value, 0.0)
         self._broadcast("subtree", proc, value)
 
     # ------------------------------------------------------------------ #
-    # task activation / completion
+    # task activation
     # ------------------------------------------------------------------ #
-    def _try_start(self, proc: int) -> None:
+    def _try_start_reference(self, proc: int) -> None:
+        """Historical task activation: context object over a copied pool."""
         p = self.procs[proc]
         if p.current_task is not None:
             return
@@ -368,22 +496,57 @@ class FactorizationSimulator:
             return
         self._activate(task, now)
 
+    def _try_start_fast(self, proc: int) -> None:
+        """Fast task activation: built-in selectors are inlined over the live
+        pool (no copy, no context object); custom selectors fall back to the
+        reference path so their contract is unchanged."""
+        p = self.procs[proc]
+        if p.current_task is not None:
+            return
+        if p.slave_queue:
+            self._activate(p.slave_queue.popleft(), self.queue.now)
+            return
+        if not p.pool:
+            return
+        pick = self._fast_task_pick
+        if pick is None:
+            self._try_start_reference(proc)
+            return
+        self._activate(p.pool.pop(pick(p)), self.queue.now)
+
+    def _resolve_fast_task_pick(self):
+        """Inline pick function for the exact built-in selector types.
+
+        Returns ``None`` for anything else (including subclasses, which may
+        override ``select``), in which case the fast engine falls back to the
+        reference context path.
+        """
+        sel_type = type(self.task_selector)
+        if sel_type is LifoTaskSelector:
+            return lambda p: len(p.pool) - 1
+        if sel_type is FifoTaskSelector:
+            return lambda p: 0
+        if sel_type is MemoryAwareTaskSelector:
+            return _pick_memory_aware
+        return None
+
     def _activate(self, task: Task, now: float) -> None:
         p = self.procs[task.proc]
         p.current_task = task
-        if task.kind == TaskKind.TYPE1:
+        kind = task.kind
+        if kind == TaskKind.TYPE1:
             duration = self._activate_type1(task, now)
-        elif task.kind == TaskKind.TYPE2_MASTER:
+        elif kind == TaskKind.TYPE2_MASTER:
             duration = self._activate_type2_master(task, now)
-        elif task.kind == TaskKind.TYPE2_SLAVE:
+        elif kind == TaskKind.TYPE2_SLAVE:
             duration = task.flops / self.config.flop_rate
-        elif task.kind == TaskKind.ROOT_SHARE:
+        elif kind == TaskKind.ROOT_SHARE:
             p.memory.allocate_stack(task.memory_cost, now)
             self._memory_changed(task.proc)
             duration = task.flops / self.config.flop_rate
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown task kind {task.kind}")
-        self.queue.push(now + duration, ("task_done", task.proc, task))
+        self.queue.push_task_done(now + duration, task.proc, task)
 
     def _pull_children_cbs(self, node: int, dest: int, now: float) -> tuple[float, float]:
         """Route the children CB pieces to ``dest``.
@@ -395,7 +558,7 @@ class FactorizationSimulator:
         total = 0.0
         comm_time = 0.0
         moved = 0.0
-        for c in self.tree.children(node):
+        for c in self._children[node]:
             for (q, entries) in self.node_state[c].cb_pieces:
                 total += entries
                 if q != dest:
@@ -437,12 +600,13 @@ class FactorizationSimulator:
         self._note_upper_activation(task, now)
         self.node_state[node].activated = True
         _, comm_time = self._pull_children_cbs(node, task.proc, now)
-        p.memory.allocate_stack(float(self.tree.front_entries(node)), now)
+        p.memory.allocate_stack(self._front_entries[node], now)
         self._memory_changed(task.proc)
+        cfg = self.config
         duration = (
             comm_time
-            + self.tree.assembly_flops(node) / self.config.assembly_rate
-            + self.tree.factor_flops(node) / self.config.flop_rate
+            + self._assembly_flops[node] / cfg.assembly_rate
+            + self._task_flops[node] / cfg.flop_rate
         )
         return duration
 
@@ -463,7 +627,7 @@ class FactorizationSimulator:
         """
         total = 0.0
         comm_time = 0.0
-        for c in self.tree.children(node):
+        for c in self._children[node]:
             st = self.node_state[c]
             for (q, entries) in st.cb_pieces:
                 total += entries
@@ -476,6 +640,14 @@ class FactorizationSimulator:
             st.cb_pieces = []
         return total, comm_time
 
+    def _candidates_for(self, node: int, master: int) -> list[int]:
+        if self.engine == "fast":
+            return self._type2_candidates[node]
+        candidates = [q for q in self.mapping.candidates.get(node, []) if q != master]
+        if not candidates:
+            candidates = [q for q in range(self.config.nprocs) if q != master]
+        return candidates
+
     def _activate_type2_master(self, task: Task, now: float) -> float:
         node = task.node
         p = self.procs[task.proc]
@@ -487,19 +659,17 @@ class FactorizationSimulator:
         total_cb, comm_time = self._release_children_cbs(node, now, observer=task.proc)
         # the master's assembly share: the rows of the children CBs that land
         # in the fully summed part of the front
-        nfront_f = float(max(int(tree.nfront[node]), 1))
-        master_assembly = total_cb * float(tree.npiv[node]) / nfront_f
+        npiv = self._npiv[node]
+        nfront = self._nfront[node]
+        nfront_f = float(max(nfront, 1))
+        master_assembly = total_cb * float(npiv) / nfront_f
         task.extra_transient = master_assembly
-        p.memory.allocate_stack(float(tree.master_entries(node)) + master_assembly, now)
+        p.memory.allocate_stack(self._master_entries[node] + master_assembly, now)
         self._memory_changed(task.proc)
 
         # ------------------- dynamic slave selection ---------------------- #
-        npiv = int(tree.npiv[node])
-        nfront = int(tree.nfront[node])
         ncb = nfront - npiv
-        candidates = [q for q in self.mapping.candidates.get(node, []) if q != task.proc]
-        if not candidates:
-            candidates = [q for q in range(cfg.nprocs) if q != task.proc]
+        candidates = self._candidates_for(node, task.proc)
         mem_view = p.view.memory_snapshot()
         eff_view = p.view.effective_memory_snapshot(with_predictions=True)
         load_view = p.view.load.copy()
@@ -524,9 +694,12 @@ class FactorizationSimulator:
 
         state = self.node_state[node]
         state.slaves_pending = len(assignment)
+        symmetric = tree.symmetric
+        descriptor_delay = self.comm.transfer_time(npiv * 2)  # task descriptor, small
+        reservations: list[tuple[int, float]] = []
         for (q, rows) in assignment:
-            block = float(type2_slave_block_entries(npiv, nfront, rows, tree.symmetric))
-            flops = type2_slave_flops(npiv, nfront, rows, tree.symmetric)
+            block = float(type2_slave_block_entries(npiv, nfront, rows, symmetric))
+            flops = type2_slave_flops(npiv, nfront, rows, symmetric)
             # the slave also receives its share of the children CB rows to assemble
             slave_assembly = total_cb * float(rows) / nfront_f
             slave_task = Task(
@@ -540,26 +713,25 @@ class FactorizationSimulator:
                 master=task.proc,
                 extra_transient=slave_assembly,
             )
-            delay = self.comm.transfer_time(npiv * 2)  # task descriptor, small
-            self.queue.push_after(delay, ("message", Message(
+            self.queue.push_message_after(descriptor_delay, Message(
                 kind=MessageKind.SLAVE_TASK, source=task.proc, dest=q, node=node,
                 rows=rows, entries=int(block), payload={"task": slave_task},
-            )))
+            ))
             self.message_counts["slave_task"] += 1
             # the master immediately accounts for its own decision (coherence
             # mechanism of Section 4) and tells the others about it
             p.view.add_memory(q, block)
+            reservations.append((q, block))
         if assignment and cfg.nprocs > 1:
-            self.queue.push_after(
-                self.comm.notification_time(),
-                ("reservation", task.proc, [(q, float(type2_slave_block_entries(npiv, nfront, rows, tree.symmetric))) for q, rows in assignment]),
+            self.queue.push_reservation_after(
+                self.comm.notification_time(), task.proc, reservations
             )
             self.message_counts["reservation"] += cfg.nprocs - 1
 
         duration = (
             comm_time
-            + tree.assembly_flops(node) / cfg.assembly_rate
-            + tree.type2_master_flops(node) / cfg.flop_rate
+            + self._assembly_flops[node] / cfg.assembly_rate
+            + self._task_flops[node] / cfg.flop_rate
         )
         return duration
 
@@ -570,20 +742,21 @@ class FactorizationSimulator:
         p = self.procs[proc]
         p.current_task = None
         p.tasks_done += 1
-        if task.kind == TaskKind.TYPE1:
+        kind = task.kind
+        if kind == TaskKind.TYPE1:
             self._finish_type1(task, now)
-        elif task.kind == TaskKind.TYPE2_MASTER:
+        elif kind == TaskKind.TYPE2_MASTER:
             self._finish_type2_master(task, now)
-        elif task.kind == TaskKind.TYPE2_SLAVE:
+        elif kind == TaskKind.TYPE2_SLAVE:
             self._finish_type2_slave(task, now)
-        elif task.kind == TaskKind.ROOT_SHARE:
+        elif kind == TaskKind.ROOT_SHARE:
             self._finish_root_share(task, now)
         self._try_start(proc)
 
     def _consume_children_cbs(self, node: int, dest: int, now: float) -> None:
         """Free the children CB pieces (they all sit on ``dest`` by now)."""
         total = 0.0
-        for c in self.tree.children(node):
+        for c in self._children[node]:
             st = self.node_state[c]
             total += sum(entries for (_q, entries) in st.cb_pieces)
             st.cb_pieces = []
@@ -594,11 +767,10 @@ class FactorizationSimulator:
     def _finish_type1(self, task: Task, now: float) -> None:
         node = task.node
         p = self.procs[task.proc]
-        tree = self.tree
         self._consume_children_cbs(node, task.proc, now)
-        p.memory.free_stack(float(tree.front_entries(node)), now)
-        p.memory.add_factors(float(tree.factor_entries(node)), now)
-        cb = float(tree.cb_entries(node))
+        p.memory.free_stack(self._front_entries[node], now)
+        p.memory.add_factors(self._factor_entries[node], now)
+        cb = self._cb_entries[node]
         if cb > 0:
             p.memory.allocate_stack(cb, now)
             self.node_state[node].cb_pieces = [(task.proc, cb)]
@@ -611,8 +783,7 @@ class FactorizationSimulator:
     def _finish_type2_master(self, task: Task, now: float) -> None:
         node = task.node
         p = self.procs[task.proc]
-        tree = self.tree
-        master = float(tree.master_entries(node))
+        master = self._master_entries[node]
         p.memory.free_stack(master + task.extra_transient, now)
         p.memory.add_factors(master, now)
         self._memory_changed(task.proc)
@@ -627,10 +798,9 @@ class FactorizationSimulator:
         node = task.node
         q = task.proc
         p = self.procs[q]
-        tree = self.tree
-        npiv = int(tree.npiv[node])
-        nfront = int(tree.nfront[node])
-        factor_part = float(type2_slave_factor_entries(npiv, nfront, task.rows, tree.symmetric))
+        factor_part = float(type2_slave_factor_entries(
+            self._npiv[node], self._nfront[node], task.rows, self.tree.symmetric
+        ))
         cb_part = max(task.memory_cost - factor_part, 0.0)
         p.memory.free_stack(factor_part + task.extra_transient, now)
         p.memory.add_factors(factor_part, now)
@@ -648,9 +818,8 @@ class FactorizationSimulator:
     def _finish_root_share(self, task: Task, now: float) -> None:
         node = task.node
         p = self.procs[task.proc]
-        tree = self.tree
         share_front = task.memory_cost
-        share_factors = float(tree.factor_entries(node)) / self.config.nprocs
+        share_factors = self._factor_entries[node] / self.config.nprocs
         p.memory.free_stack(share_front, now)
         p.memory.add_factors(share_factors, now)
         self._memory_changed(task.proc)
@@ -660,7 +829,7 @@ class FactorizationSimulator:
         state.root_shares_pending -= 1
         if state.root_shares_pending == 0:
             # root CB (normally empty) stays on processor 0 by convention
-            cb = float(tree.cb_entries(node))
+            cb = self._cb_entries[node]
             if cb > 0:
                 self.procs[0].memory.allocate_stack(cb, now)
                 self._memory_changed(0)
@@ -676,43 +845,42 @@ class FactorizationSimulator:
             raise RuntimeError(f"node {node} completed twice")
         state.completed = True
         self._finished_nodes += 1
-        parent = int(self.tree.parent[node])
+        parent = self._parent[node]
         if parent < 0:
             return
-        child_owner = int(self.mapping.owner[node]) if int(self.mapping.owner[node]) >= 0 else 0
-        parent_owner = int(self.mapping.owner[parent])
+        child_owner = self._owner[node] if self._owner[node] >= 0 else 0
+        parent_owner = self._owner[parent]
         if parent_owner < 0:
             parent_owner = 0  # type-3 root: bookkeeping held by processor 0
         if child_owner == parent_owner:
             self._on_child_completed(parent, now)
         else:
-            self.queue.push_after(
+            self.queue.push_message_after(
                 self.comm.notification_time(),
-                ("message", Message(
+                Message(
                     kind=MessageKind.CHILD_COMPLETED, source=child_owner, dest=parent_owner, node=parent,
-                )),
+                ),
             )
             self.message_counts["child_completed"] += 1
 
     def _on_child_completed(self, parent: int, now: float) -> None:
         state = self.node_state[parent]
         # Section 5.1: the owner of the parent now expects this master task
-        if int(self.mapping.subtree_of[parent]) < 0 and int(self.mapping.node_type[parent]) != int(NodeType.TYPE3):
-            owner = int(self.mapping.owner[parent])
+        if self._subtree_of[parent] < 0 and self._node_type[parent] != _TYPE3:
+            owner = self._owner[parent]
             upcoming = self.upcoming_master[owner]
             if parent not in upcoming and not state.activated:
-                upcoming[parent] = self._activation_memory(parent)
+                upcoming[parent] = self._task_memory[parent]
                 self._prediction_changed(owner)
         state.children_remaining -= 1
         if state.children_remaining == 0:
             self._node_ready(parent, now)
 
     def _node_ready(self, node: int, now: float) -> None:
-        kind = int(self.mapping.node_type[node])
-        if kind == int(NodeType.TYPE3):
+        if self._node_type[node] == _TYPE3:
             self._root_ready(node, now)
             return
-        owner = int(self.mapping.owner[node])
+        owner = self._owner[node]
         task = self._make_static_task(node)
         p = self.procs[owner]
         p.push_ready_task(task)
@@ -723,19 +891,18 @@ class FactorizationSimulator:
         self._try_start(owner)
 
     def _root_ready(self, node: int, now: float) -> None:
-        tree = self.tree
         cfg = self.config
         state = self.node_state[node]
         # the 2-D distribution scatters the children CBs: free them where they live
-        for c in tree.children(node):
+        for c in self._children[node]:
             st = self.node_state[c]
             for (q, entries) in st.cb_pieces:
                 self.procs[q].memory.free_stack(entries, now)
                 self._memory_changed(q)
             st.cb_pieces = []
         state.root_shares_pending = cfg.nprocs
-        share_flops = tree.factor_flops(node) / cfg.nprocs
-        share_front = float(tree.front_entries(node)) / cfg.nprocs
+        share_flops = self._task_flops[node] / cfg.nprocs
+        share_front = self._front_entries[node] / cfg.nprocs
         for q in range(cfg.nprocs):
             task = Task(
                 kind=TaskKind.ROOT_SHARE,
@@ -780,14 +947,10 @@ class FactorizationSimulator:
         self.views.apply_reservations(source, reservations)
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # main loops
     # ------------------------------------------------------------------ #
-    def run(self) -> SimulationResult:
-        """Run the simulation to completion and return the metrics."""
-        if self._ran:
-            raise RuntimeError("a FactorizationSimulator instance can only run once")
-        self._ran = True
-        self._setup()
+    def _run_reference(self) -> None:
+        """The historical event loop: dataclass events, string-tag dispatch."""
         while self.queue:
             event = self.queue.pop()
             payload = event.payload
@@ -807,6 +970,62 @@ class FactorizationSimulator:
                 self._try_start(payload[1])
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown event {tag}")
+
+    # fast-engine event handlers, one per integer tag, uniform (ev) signature
+    def _ev_task_done(self, ev: tuple) -> None:
+        self._finish_task(ev[3], ev[4], ev[0])
+
+    def _ev_message(self, ev: tuple) -> None:
+        self._handle_message(ev[3], ev[0])
+
+    def _ev_broadcast(self, ev: tuple) -> None:
+        time, kind, source, value = ev[0], ev[3], ev[4], ev[5]
+        # zero-latency coalescing: a storm of broadcasts of the same kind
+        # from the same source at one timestamp delivers, value by value,
+        # with no observer in between — only the last value can ever be
+        # read, so the whole storm collapses into one ViewBank column op.
+        heap = self.queue._heap
+        while heap:
+            nxt = heap[0]
+            if nxt[0] != time or nxt[2] != EV_BROADCAST or nxt[3] != kind or nxt[4] != source:
+                break
+            value = nxt[5]
+            heapq.heappop(heap)
+        self.views.apply_broadcast_kind(kind, source, value)
+
+    def _ev_reservation(self, ev: tuple) -> None:
+        self.views.apply_reservations(ev[3], ev[4])
+
+    def _ev_kick(self, ev: tuple) -> None:
+        self._try_start(ev[3])
+
+    def _run_fast(self) -> None:
+        """The flat event loop: tuple events, handler table indexed by tag id."""
+        dispatch = [None] * 5
+        dispatch[EV_TASK_DONE] = self._ev_task_done
+        dispatch[EV_MESSAGE] = self._ev_message
+        dispatch[EV_BROADCAST] = self._ev_broadcast
+        dispatch[EV_RESERVATION] = self._ev_reservation
+        dispatch[EV_KICK] = self._ev_kick
+        dispatch = tuple(dispatch)
+        queue = self.queue
+        heap = queue._heap
+        pop = heapq.heappop
+        while heap:
+            ev = pop(heap)
+            queue._now = ev[0]
+            dispatch[ev[2]](ev)
+
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return the metrics."""
+        if self._ran:
+            raise RuntimeError("a FactorizationSimulator instance can only run once")
+        self._ran = True
+        self._setup()
+        if self.engine == "fast":
+            self._run_fast()
+        else:
+            self._run_reference()
 
         if self._finished_nodes != self.tree.nnodes:
             unfinished = [i for i, s in enumerate(self.node_state) if not s.completed]
@@ -832,3 +1051,32 @@ class FactorizationSimulator:
             trace=trace,
             strategy_name=self.strategy_name,
         )
+
+
+#: module-level int mirrors of the NodeType members compared on the hot path
+_TYPE2 = int(NodeType.TYPE2)
+_TYPE3 = int(NodeType.TYPE3)
+
+
+def _pick_memory_aware(p: ProcessorState) -> int:
+    """Inlined :class:`MemoryAwareTaskSelector.select` over the live pool.
+
+    Bit-identical to building a :class:`TaskSelectionContext` from ``p`` and
+    calling the selector (asserted by ``tests/test_engine_identity.py``).
+    """
+    pool = p.pool
+    top = len(pool) - 1
+    current_subtree = p.current_subtree
+    if current_subtree >= 0 and pool[top].in_subtree == current_subtree:
+        return top
+    current = float(p.memory.stack) + (
+        p.current_subtree_peak if current_subtree >= 0 else 0.0
+    )
+    observed = p.observed_peak
+    for index in range(top, -1, -1):
+        task = pool[index]
+        if task.memory_cost + current <= observed:
+            return index
+        if task.in_subtree >= 0:
+            return index
+    return top

@@ -21,7 +21,7 @@ class TaskKind(Enum):
     ROOT_SHARE = auto()    # this processor's share of the type-3 root
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One unit of work for one processor.
 

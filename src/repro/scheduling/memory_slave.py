@@ -8,6 +8,13 @@ rows are spread equally.  The metric is either the instantaneous memory
 (Section 4) or the improved metric of Section 5.1 — instantaneous memory plus
 the peak of the subtree currently being treated plus the predicted cost of
 the next upper-layer master task.
+
+Mirroring the ``ViewBank`` scalar/vector pattern, the selection has two
+implementations: the default vectorized path gathers the candidate metrics
+and locates the prefix with numpy array operations, and ``vectorized=False``
+preserves the historical per-candidate Python loops as an executable
+reference (``tests/test_engine_identity.py`` asserts they pick identical
+assignments on randomized contexts).
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ class MemorySlaveSelector(SlaveSelector):
         memory only); ``True`` uses the Section 5.1 metric, which avoids
         giving slave work to processors about to start an expensive subtree
         or master task.
+    vectorized:
+        ``True`` (default) runs the numpy implementation; ``False`` keeps the
+        historical per-candidate loops as the executable reference.
     row_unit:
         Memory-to-rows conversion follows the paper: a deficit of ``D``
         entries translates into ``D / nfront`` rows (one row of the front
@@ -38,14 +48,70 @@ class MemorySlaveSelector(SlaveSelector):
 
     name = "memory"
 
-    def __init__(self, *, use_predictions: bool = True):
+    def __init__(self, *, use_predictions: bool = True, vectorized: bool = True):
         self.use_predictions = use_predictions
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------ #
     def _metric(self, ctx: SlaveSelectionContext) -> np.ndarray:
         return selection_metric(ctx, use_predictions=self.use_predictions)
 
     def select(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if self.vectorized:
+            return self._select_vectorized(ctx)
+        return self._select_scalar(ctx)
+
+    # ------------------------------------------------------------------ #
+    # vectorized path (default)
+    # ------------------------------------------------------------------ #
+    def _select_vectorized(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if ctx.ncb <= 0:
+            return []
+        cand = np.asarray(ctx.candidates, dtype=np.int64)
+        if cand.size == 0:
+            return []
+        metric = np.asarray(self._metric(ctx), dtype=np.float64)
+        mem = metric[cand]
+        order = np.argsort(mem, kind="stable")
+        sorted_procs = cand[order]
+        sorted_mem = mem[order]
+
+        nfront = max(ctx.nfront, 1)
+        # the "surface" to distribute: the slave part of the frontal matrix
+        surface = float(ctx.ncb) * float(nfront)
+
+        # Levelling cost of the prefix 1..i: sum(sorted_mem[i-1] - sorted_mem[:i]),
+        # nondecreasing in i because the memories are sorted.  The closed form
+        # below locates the boundary in one vectorized pass; the exact
+        # summation (the reference expression, whose rounding can differ from
+        # the closed form by an ulp) then settles the boundary itself.
+        n = int(sorted_mem.size)
+
+        def exact_cost(i: int) -> float:
+            return float(np.sum(sorted_mem[i - 1] - sorted_mem[:i]))
+
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        approx = counts * sorted_mem - np.cumsum(sorted_mem)
+        violations = np.nonzero(approx > surface)[0]
+        best = int(violations[0]) if violations.size else n
+        if best < 1:
+            best = 1
+        while best < n and exact_cost(best + 1) <= surface:
+            best += 1
+        while best > 1 and exact_cost(best) > surface:
+            best -= 1
+        # granularity constraints
+        max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
+        best = min(best, ctx.max_slaves, max_by_rows)
+        chosen = sorted_procs[:best]
+        chosen_mem = sorted_mem[:best]
+        level = chosen_mem[best - 1]
+        return _level_rows(chosen, chosen_mem, level, nfront, ctx.ncb, best)
+
+    # ------------------------------------------------------------------ #
+    # scalar reference path (the historical implementation, verbatim)
+    # ------------------------------------------------------------------ #
+    def _select_scalar(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
         if ctx.ncb <= 0:
             return []
         candidates = [int(q) for q in ctx.candidates]
@@ -58,7 +124,6 @@ class MemorySlaveSelector(SlaveSelector):
         sorted_mem = mem[order]
 
         nfront = max(ctx.nfront, 1)
-        # the "surface" to distribute: the slave part of the frontal matrix
         surface = float(ctx.ncb) * float(nfront)
 
         # find the largest prefix 1..i whose levelling cost fits in the surface
@@ -70,28 +135,33 @@ class MemorySlaveSelector(SlaveSelector):
                 best = i
             else:
                 break
-        # granularity constraints
         max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
         best = min(best, ctx.max_slaves, max_by_rows)
         chosen = sorted_procs[:best]
         chosen_mem = sorted_mem[:best]
         level = chosen_mem[best - 1]
+        return _level_rows(chosen, chosen_mem, level, nfront, ctx.ncb, best)
 
-        # levelling pass: bring every selected slave up to the level of the
-        # most loaded selected one, in rows of the front
-        rows = np.zeros(best, dtype=np.int64)
-        remaining = ctx.ncb
-        for j in range(best):
-            deficit_rows = int((level - chosen_mem[j]) // nfront)
-            give = min(deficit_rows, remaining)
-            rows[j] = give
-            remaining -= give
-            if remaining == 0:
-                break
-        # remaining rows are assigned equitably
-        j = 0
-        while remaining > 0:
-            rows[j % best] += 1
-            remaining -= 1
-            j += 1
-        return [(q, int(r)) for q, r in zip(chosen, rows) if r > 0]
+
+def _level_rows(chosen, chosen_mem, level, nfront, ncb, best) -> list[tuple[int, int]]:
+    """Algorithm 1's levelling pass, shared by both implementations.
+
+    Brings every selected slave up to the level of the most loaded selected
+    one (in rows of the front), then spreads the remaining rows equitably.
+    """
+    rows = np.zeros(best, dtype=np.int64)
+    remaining = ncb
+    for j in range(best):
+        deficit_rows = int((level - chosen_mem[j]) // nfront)
+        give = min(deficit_rows, remaining)
+        rows[j] = give
+        remaining -= give
+        if remaining == 0:
+            break
+    # remaining rows are assigned equitably
+    j = 0
+    while remaining > 0:
+        rows[j % best] += 1
+        remaining -= 1
+        j += 1
+    return [(int(q), int(r)) for q, r in zip(chosen, rows) if r > 0]

@@ -6,6 +6,11 @@ addition, the selection is done such that the amount of work given to the
 slaves is as balanced as possible with the workload of the corresponding task
 on the master."  The workload metric is the number of floating-point
 operations still to be done.
+
+Like :class:`~repro.scheduling.memory_slave.MemorySlaveSelector`, the
+selection is vectorized by default (gathers and masks over the believed-load
+array) and keeps the historical per-candidate loops under
+``vectorized=False`` as the executable reference.
 """
 
 from __future__ import annotations
@@ -22,12 +27,54 @@ class WorkloadSlaveSelector(SlaveSelector):
 
     name = "workload"
 
-    def __init__(self, *, proportional: bool = True):
+    def __init__(self, *, proportional: bool = True, vectorized: bool = True):
         #: distribute rows inversely proportionally to the believed loads
         #: (``True``) or in equal shares (``False``)
         self.proportional = proportional
+        self.vectorized = vectorized
 
     def select(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if self.vectorized:
+            return self._select_vectorized(ctx)
+        return self._select_scalar(ctx)
+
+    # ------------------------------------------------------------------ #
+    # vectorized path (default)
+    # ------------------------------------------------------------------ #
+    def _select_vectorized(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
+        if ctx.ncb <= 0:
+            return []
+        cand = np.asarray(ctx.candidates, dtype=np.int64)
+        if cand.size == 0:
+            return []
+        load_view = np.asarray(ctx.load_view, dtype=np.float64)
+        loads = load_view[cand]
+        order = np.argsort(loads, kind="stable")
+        sorted_procs = cand[order]
+
+        # prefer processors strictly less loaded than the master
+        less_loaded_mask = loads[order] < ctx.own_load
+        chosen_pool = sorted_procs[less_loaded_mask] if less_loaded_mask.any() else sorted_procs
+
+        # granularity constraints: each slave must receive a useful amount of
+        # rows, and the number of slaves is bounded
+        max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
+        nslaves = min(int(chosen_pool.size), ctx.max_slaves, max_by_rows)
+        chosen = chosen_pool[:nslaves]
+
+        if self.proportional:
+            # fewer rows to more-loaded slaves: weights are the load gaps to
+            # the most loaded candidate plus one row to keep weights positive
+            gaps = np.maximum(float(np.max(load_view)) - load_view[chosen], 0.0) + 1.0
+            weights = gaps / gaps.sum()
+        else:
+            weights = np.full(len(chosen), 1.0 / len(chosen))
+        return _spread_rows(chosen, weights, ctx.ncb)
+
+    # ------------------------------------------------------------------ #
+    # scalar reference path (the historical implementation, verbatim)
+    # ------------------------------------------------------------------ #
+    def _select_scalar(self, ctx: SlaveSelectionContext) -> list[tuple[int, int]]:
         if ctx.ncb <= 0:
             return []
         candidates = [int(q) for q in ctx.candidates]
@@ -36,29 +83,30 @@ class WorkloadSlaveSelector(SlaveSelector):
         loads = np.array([float(ctx.load_view[q]) for q in candidates])
         order = np.argsort(loads, kind="stable")
 
-        # prefer processors strictly less loaded than the master
         less_loaded = [candidates[int(i)] for i in order if loads[int(i)] < ctx.own_load]
         chosen_pool = less_loaded if less_loaded else [candidates[int(i)] for i in order]
 
-        # granularity constraints: each slave must receive a useful amount of
-        # rows, and the number of slaves is bounded
         max_by_rows = max(1, ctx.ncb // max(ctx.min_rows_per_slave, 1))
         nslaves = min(len(chosen_pool), ctx.max_slaves, max_by_rows)
         chosen = chosen_pool[:nslaves]
 
         if self.proportional:
-            # fewer rows to more-loaded slaves: weights are the load gaps to
-            # the most loaded candidate plus one row to keep weights positive
             gaps = np.array([max(float(np.max(ctx.load_view)) - float(ctx.load_view[q]), 0.0) + 1.0 for q in chosen])
             weights = gaps / gaps.sum()
         else:
             weights = np.full(len(chosen), 1.0 / len(chosen))
-        rows = np.floor(weights * ctx.ncb).astype(int)
-        # distribute the remainder one row at a time to the least loaded
-        remainder = ctx.ncb - int(rows.sum())
-        k = 0
-        while remainder > 0 and chosen:
-            rows[k % len(chosen)] += 1
-            remainder -= 1
-            k += 1
-        return [(q, int(r)) for q, r in zip(chosen, rows) if r > 0]
+        return _spread_rows(chosen, weights, ctx.ncb)
+
+
+def _spread_rows(chosen, weights: np.ndarray, ncb: int) -> list[tuple[int, int]]:
+    """Weighted row distribution shared by both implementations."""
+    rows = np.floor(weights * ncb).astype(int)
+    # distribute the remainder one row at a time to the least loaded
+    remainder = ncb - int(rows.sum())
+    k = 0
+    nchosen = len(chosen)
+    while remainder > 0 and nchosen:
+        rows[k % nchosen] += 1
+        remainder -= 1
+        k += 1
+    return [(int(q), int(r)) for q, r in zip(chosen, rows) if r > 0]

@@ -17,7 +17,6 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.analysis.flops import (
-    assembly_flops,
     cb_entries,
     factor_entries,
     front_entries,
@@ -104,6 +103,9 @@ class AssemblyTree:
             p = int(self.parent[j])
             if p >= 0:
                 self._children[p].append(j)
+        #: lazy cache of the vectorized geometry arrays (the tree is immutable
+        #: after construction, so the cache never needs invalidation)
+        self._geometry_cache: dict[str, np.ndarray] = {}
         self.validate()
 
     # ------------------------------------------------------------------ #
@@ -177,6 +179,174 @@ class AssemblyTree:
             level[j] = 0 if p < 0 else level[p] + 1
         return level
 
+    def child_lists(self) -> list[list[int]]:
+        """The children of every node, as one list of lists (no copies).
+
+        The returned structure is shared with the tree — treat it as
+        read-only.  :meth:`children` returns a defensive copy of one entry;
+        the simulator's hot path iterates all nodes' children thousands of
+        times per run, which this accessor serves without per-call copies.
+        """
+        return self._children
+
+    # ------------------------------------------------------------------ #
+    # vectorized geometry (cached; exact equivalents of the scalar methods)
+    # ------------------------------------------------------------------ #
+    def _cached(self, key: str, builder) -> np.ndarray:
+        # getattr guard: trees unpickled from artifact stores written by
+        # older versions have no cache attribute yet
+        cache = getattr(self, "_geometry_cache", None)
+        if cache is None:
+            cache = self._geometry_cache = {}
+        arr = cache.get(key)
+        if arr is None:
+            arr = cache[key] = builder()
+        return arr
+
+    @staticmethod
+    def _sum_range_vec(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized ``analysis.flops._sum_range`` (int64, exact)."""
+        out = (hi * (hi + 1)) // 2 - ((lo - 1) * lo) // 2
+        return np.where(hi < lo, 0, out)
+
+    @staticmethod
+    def _sum_sq_range_vec(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized ``analysis.flops._sum_sq_range`` (int64, exact)."""
+
+        def s2(m: np.ndarray) -> np.ndarray:
+            return m * (m + 1) * (2 * m + 1) // 6
+
+        return np.where(hi < lo, 0, s2(hi) - s2(lo - 1))
+
+    def front_entries_all(self) -> np.ndarray:
+        """``front_entries(i)`` for every node, as one int64 array."""
+
+        def build() -> np.ndarray:
+            nf = self.nfront
+            if self.symmetric:
+                return nf * (nf + 1) // 2
+            return nf * nf
+
+        return self._cached("front_entries", build)
+
+    def factor_entries_all(self) -> np.ndarray:
+        """``factor_entries(i)`` for every node, as one int64 array."""
+
+        def build() -> np.ndarray:
+            npiv, nf = self.npiv, self.nfront
+            ncb = nf - npiv
+            if self.symmetric:
+                return npiv * (npiv + 1) // 2 + ncb * npiv
+            return npiv * nf + ncb * npiv
+
+        return self._cached("factor_entries", build)
+
+    def cb_entries_all(self) -> np.ndarray:
+        """``cb_entries(i)`` for every node, as one int64 array."""
+
+        def build() -> np.ndarray:
+            ncb = self.nfront - self.npiv
+            if self.symmetric:
+                return ncb * (ncb + 1) // 2
+            return ncb * ncb
+
+        return self._cached("cb_entries", build)
+
+    def master_entries_all(self) -> np.ndarray:
+        """``master_entries(i)`` for every node, as one int64 array."""
+
+        def build() -> np.ndarray:
+            npiv = self.npiv
+            if self.symmetric:
+                return npiv * (npiv + 1) // 2
+            return npiv * self.nfront
+
+        return self._cached("master_entries", build)
+
+    def factor_flops_all(self) -> np.ndarray:
+        """``factor_flops(i)`` for every node, as one float64 array.
+
+        All flop counts are integral and far below 2**53, so the int64
+        intermediate arithmetic converts to float64 without rounding — the
+        values are bit-identical to the scalar method's.
+        """
+
+        def build() -> np.ndarray:
+            npiv, nf = self.npiv, self.nfront
+            ncb = nf - npiv
+            lo, hi = ncb, nf - 1
+            s1 = self._sum_range_vec(lo, hi)
+            s2 = self._sum_sq_range_vec(lo, hi)
+            if self.symmetric:
+                return (s1 + s2 + s1).astype(np.float64)
+            return (s1 + 2 * s2).astype(np.float64)
+
+        return self._cached("factor_flops", build)
+
+    def type2_master_flops_all(self) -> np.ndarray:
+        """``type2_master_flops(i)`` for every node, as one float64 array."""
+
+        def build() -> np.ndarray:
+            npiv = self.npiv
+            ncb = self.nfront - npiv
+            sum_a = npiv * (npiv - 1) // 2
+            sum_a2 = self._sum_sq_range_vec(np.zeros_like(npiv), npiv - 1)
+            sum_ab = sum_a2 + ncb * sum_a
+            if self.symmetric:
+                return (sum_a + sum_ab).astype(np.float64)
+            return (sum_a + 2 * sum_ab).astype(np.float64)
+
+        return self._cached("type2_master_flops", build)
+
+    def assembly_flops_all(self) -> np.ndarray:
+        """``assembly_flops(i)`` for every node, as one float64 array.
+
+        Vectorized per-node accumulation: every node's CB entries are added
+        to its parent's total in one ``np.add.at`` scatter instead of a
+        per-node Python loop over the children.
+        """
+
+        def build() -> np.ndarray:
+            total = np.zeros(self.nnodes, dtype=np.int64)
+            has_parent = self.parent >= 0
+            np.add.at(total, self.parent[has_parent], self.cb_entries_all()[has_parent])
+            return total.astype(np.float64)
+
+        return self._cached("assembly_flops", build)
+
+    def subtree_flops_all(self) -> np.ndarray:
+        """``subtree_flops(root)`` for every node, as one float64 array.
+
+        The per-subtree accumulation runs level by level from the deepest
+        nodes up (each node's parent sits exactly one level above it), so one
+        ``np.add.at`` per tree level replaces the per-root depth-first sums.
+        Flop counts are integral and the totals stay far below 2**53, so the
+        accumulation order cannot change the float results.
+        """
+
+        def build() -> np.ndarray:
+            acc = self.factor_flops_all().copy()
+            levels = self.levels()
+            for lev in range(int(levels.max(initial=0)), 0, -1):
+                at = np.nonzero(levels == lev)[0]
+                np.add.at(acc, self.parent[at], acc[at])
+            return acc
+
+        return self._cached("subtree_flops", build)
+
+    def subtree_factor_entries_all(self) -> np.ndarray:
+        """``subtree_factor_entries(root)`` for every node (int64, exact)."""
+
+        def build() -> np.ndarray:
+            acc = self.factor_entries_all().copy()
+            levels = self.levels()
+            for lev in range(int(levels.max(initial=0)), 0, -1):
+                at = np.nonzero(levels == lev)[0]
+                np.add.at(acc, self.parent[at], acc[at])
+            return acc
+
+        return self._cached("subtree_factor_entries", build)
+
     # ------------------------------------------------------------------ #
     # memory / flops models (delegated to repro.analysis.flops)
     # ------------------------------------------------------------------ #
@@ -198,7 +368,7 @@ class AssemblyTree:
 
     def assembly_flops(self, i: int) -> float:
         """Flops (entry additions) of assembling the children CBs into ``i``."""
-        return assembly_flops([self.cb_entries(c) for c in self._children[i]])
+        return float(self.assembly_flops_all()[i])
 
     def master_entries(self, i: int) -> int:
         """Entries of the *master part* of node ``i`` when treated as type 2.
@@ -224,16 +394,18 @@ class AssemblyTree:
         return type2_slave_flops(int(self.npiv[i]), int(self.nfront[i]), nrows, self.symmetric)
 
     def total_factor_entries(self) -> int:
-        return int(sum(self.factor_entries(i) for i in range(self.nnodes)))
+        return int(self.factor_entries_all().sum())
 
     def total_flops(self) -> float:
-        return float(sum(self.factor_flops(i) for i in range(self.nnodes)))
+        # per-node flop counts are integral floats well below 2**53, so the
+        # vectorized sum is exact (no order-dependent rounding)
+        return float(self.factor_flops_all().sum())
 
     def subtree_flops(self, root: int) -> float:
-        return float(sum(self.factor_flops(i) for i in self.subtree_nodes(root)))
+        return float(self.subtree_flops_all()[root])
 
     def subtree_factor_entries(self, root: int) -> int:
-        return int(sum(self.factor_entries(i) for i in self.subtree_nodes(root)))
+        return int(self.subtree_factor_entries_all()[root])
 
     # ------------------------------------------------------------------ #
     # maintenance
@@ -265,7 +437,7 @@ class AssemblyTree:
 
     def stats(self) -> dict[str, float]:
         """Summary statistics (used by the Table 1 harness and examples)."""
-        cb = np.array([self.cb_entries(i) for i in range(self.nnodes)], dtype=np.float64)
+        cb = self.cb_entries_all().astype(np.float64)
         return {
             "nodes": float(self.nnodes),
             "nvars": float(self.nvars),

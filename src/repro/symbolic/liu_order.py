@@ -27,6 +27,20 @@ __all__ = [
 ]
 
 
+def _cb_front_arrays(tree) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node CB/front entry arrays (cached on :class:`AssemblyTree`).
+
+    Falls back to per-node method calls for tree-like objects that do not
+    expose the vectorized accessors; the values are identical either way.
+    """
+    if hasattr(tree, "cb_entries_all"):
+        return tree.cb_entries_all(), tree.front_entries_all()
+    n = tree.nnodes
+    cb = np.array([tree.cb_entries(j) for j in range(n)], dtype=np.int64)
+    front = np.array([tree.front_entries(j) for j in range(n)], dtype=np.int64)
+    return cb, front
+
+
 def node_working_storage(tree, j: int) -> int:
     """Working storage of node ``j`` alone: its front plus its children CBs."""
     return tree.front_entries(j) + sum(tree.cb_entries(c) for c in tree.children(j))
@@ -47,6 +61,7 @@ def subtree_peaks_given_order(tree, child_order: list[list[int]] | None = None) 
     where the parent front coexists with all children CBs.
     """
     n = tree.nnodes
+    cb, front = _cb_front_arrays(tree)
     peaks = np.zeros(n, dtype=np.float64)
     for j in range(n):  # children before parents (tree is postordered)
         children = child_order[j] if child_order is not None else tree.children(j)
@@ -54,8 +69,8 @@ def subtree_peaks_given_order(tree, child_order: list[list[int]] | None = None) 
         peak = 0.0
         for c in children:
             peak = max(peak, stacked + peaks[c])
-            stacked += tree.cb_entries(c)
-        peak = max(peak, tree.front_entries(j) + stacked)
+            stacked += cb[c]
+        peak = max(peak, front[j] + stacked)
         peaks[j] = peak
     return peaks
 
@@ -67,21 +82,22 @@ def order_children_for_memory(tree) -> list[list[int]]:
     broken by node index to keep the result deterministic.
     """
     n = tree.nnodes
+    cb, front = _cb_front_arrays(tree)
     order: list[list[int]] = [[] for _ in range(n)]
     peaks = np.zeros(n, dtype=np.float64)
     for j in range(n):
         children = tree.children(j)
         scored = sorted(
             children,
-            key=lambda c: (-(peaks[c] - tree.cb_entries(c)), c),
+            key=lambda c: (-(peaks[c] - cb[c]), c),
         )
         order[j] = scored
         stacked = 0.0
         peak = 0.0
         for c in scored:
             peak = max(peak, stacked + peaks[c])
-            stacked += tree.cb_entries(c)
-        peak = max(peak, tree.front_entries(j) + stacked)
+            stacked += cb[c]
+        peak = max(peak, front[j] + stacked)
         peaks[j] = peak
     return order
 

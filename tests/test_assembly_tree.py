@@ -174,3 +174,51 @@ class TestBuildAssemblyTree:
     def test_name_defaults_to_pattern_name(self, small_grid):
         tree = build_assembly_tree(small_grid)
         assert tree.name == small_grid.name
+
+
+class TestVectorizedGeometry:
+    """PR 5: the cached geometry arrays ≡ the scalar per-node methods."""
+
+    def _trees(self, small_grid, unsym_pattern):
+        sym_tree = build_assembly_tree(small_grid, compute_ordering(small_grid, "metis"))
+        uns_tree = build_assembly_tree(unsym_pattern, compute_ordering(unsym_pattern, "amd"))
+        synthetic = AssemblyTree([2, 3, 4], [4, 5, 4], [2, 2, -1], symmetric=True, nvars=9)
+        return [sym_tree, uns_tree, synthetic]
+
+    def test_entry_arrays_match_scalar_methods(self, small_grid, unsym_pattern):
+        for tree in self._trees(small_grid, unsym_pattern):
+            n = tree.nnodes
+            assert list(tree.front_entries_all()) == [tree.front_entries(i) for i in range(n)]
+            assert list(tree.factor_entries_all()) == [tree.factor_entries(i) for i in range(n)]
+            assert list(tree.cb_entries_all()) == [tree.cb_entries(i) for i in range(n)]
+            assert list(tree.master_entries_all()) == [tree.master_entries(i) for i in range(n)]
+
+    def test_flop_arrays_match_scalar_methods(self, small_grid, unsym_pattern):
+        for tree in self._trees(small_grid, unsym_pattern):
+            n = tree.nnodes
+            assert list(tree.factor_flops_all()) == [tree.factor_flops(i) for i in range(n)]
+            assert list(tree.type2_master_flops_all()) == [
+                tree.type2_master_flops(i) for i in range(n)
+            ]
+            assert list(tree.assembly_flops_all()) == [
+                float(sum(tree.cb_entries(c) for c in tree.children(i))) for i in range(n)
+            ]
+
+    def test_subtree_accumulations_match_depth_first_sums(self, small_grid, unsym_pattern):
+        for tree in self._trees(small_grid, unsym_pattern):
+            for root in range(tree.nnodes):
+                nodes = tree.subtree_nodes(root)
+                assert tree.subtree_flops(root) == float(
+                    sum(tree.factor_flops(i) for i in nodes)
+                )
+                assert tree.subtree_factor_entries(root) == int(
+                    sum(tree.factor_entries(i) for i in nodes)
+                )
+
+    def test_child_lists_shared_not_copied(self, small_grid):
+        tree = build_assembly_tree(small_grid)
+        lists = tree.child_lists()
+        assert lists is tree.child_lists()
+        assert [list(lists[i]) for i in range(tree.nnodes)] == [
+            tree.children(i) for i in range(tree.nnodes)
+        ]

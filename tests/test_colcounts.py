@@ -79,6 +79,46 @@ class TestSymbolicFill:
         assert symbolic_fill(small_grid)["nnz_L"] == pytest.approx(float(counts.sum()))
 
 
+class TestVectorizedEquivalence:
+    """PR 5 gate: the numpy-batched path ≡ the scalar reference, bitwise."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            banded_pattern(15, bandwidth=1),
+            banded_pattern(25, bandwidth=4),
+            grid_2d(8, 8),
+            grid_2d(7, 4, stencil=9),
+            grid_3d(5, 5, 5),
+            arrow_pattern(30, bandwidth=2, arrow_width=2),
+            random_pattern(60, density=0.08, symmetric=True, seed=1),
+            random_pattern(60, density=0.03, symmetric=False, seed=5),
+        ],
+        ids=["band1", "band4", "grid2d", "grid2d9", "grid3d", "arrow", "randsym", "randuns"],
+    )
+    def test_matches_scalar_reference(self, pattern):
+        vec = column_counts(pattern)
+        ref = column_counts(pattern, vectorized=False)
+        assert vec.dtype == ref.dtype
+        assert np.array_equal(vec, ref)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=40), seed=st.integers(0, 5000))
+    def test_property_matches_scalar_on_random_patterns(self, n, seed):
+        rng = np.random.default_rng(seed)
+        nnz = max(1, int(rng.uniform(0.02, 0.4) * n * n))
+        pattern = SparsePattern.from_coo(
+            n, rng.integers(0, n, nnz), rng.integers(0, n, nnz), symmetrize_pattern=True
+        )
+        sym = pattern.symmetrized().with_diagonal()
+        parent = elimination_tree(sym)
+        post = postorder(parent)
+        vec = column_counts(sym, parent, post)
+        ref = column_counts(sym, parent, post, vectorized=False)
+        assert np.array_equal(vec, ref)
+        assert np.array_equal(vec, column_counts_naive(pattern))
+
+
 @settings(max_examples=25, deadline=None)
 @given(n=st.integers(min_value=2, max_value=20), seed=st.integers(0, 1000))
 def test_property_gnp_equals_naive(n, seed):

@@ -1,0 +1,262 @@
+"""The fast event engine must be an exact drop-in for the reference engine.
+
+PR 5 rewrote the simulator hot path: flat-tuple events with integer tags and
+a dispatch table, zero-latency broadcast coalescing, precomputed per-node
+geometry and inlined task selection.  The historical event core stays
+reachable as ``engine="reference"`` (or ``REPRO_SIM_ENGINE=reference``), and
+this suite pins the two engines *bit-identical* — every field of
+:class:`SimulationResult`, including ``message_counts`` and
+``slave_selections``, over a randomized scenario matrix of tree shapes ×
+strategies × processor counts × latency configurations.
+
+The slave selectors' vectorized paths are pinned to their scalar references
+the same way, over randomized selection contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import compute_mapping
+from repro.runtime import (
+    FactorizationSimulator,
+    SimulationConfig,
+    resolve_engine,
+)
+from repro.scheduling import get_strategy
+from repro.scheduling.base import SlaveSelectionContext
+from repro.scheduling.hybrid import HybridSlaveSelector
+from repro.scheduling.memory_slave import MemorySlaveSelector
+from repro.scheduling.workload import WorkloadSlaveSelector
+from repro.sparse import grid_2d
+from repro.symbolic import AssemblyTree, build_assembly_tree
+
+
+# --------------------------------------------------------------------------- #
+# scenario matrix
+# --------------------------------------------------------------------------- #
+STRATEGIES = [
+    "mumps-workload",
+    "memory-basic",
+    "memory-slave",
+    "memory-task",
+    "memory-full",
+    "hybrid",
+]
+
+#: (seed, nprocs, strategy, latency, memory_message_latency, track_traces)
+#: — zero-latency rows are the broadcast-coalescing stress (every broadcast
+#: of a timestamp lands at the same instant), high-latency rows maximise
+#: view staleness, and the traced rows also compare the full memory traces.
+SCENARIOS = [
+    (0, 2, "mumps-workload", 20.0e-6, 20.0e-6, False),
+    (1, 3, "memory-basic", 20.0e-6, 20.0e-6, False),
+    (2, 4, "memory-slave", 0.0, 0.0, False),
+    (3, 4, "memory-task", 20.0e-6, 0.0, False),
+    (4, 8, "memory-full", 0.0, 0.0, True),
+    (5, 8, "hybrid", 20.0e-6, 20.0e-6, False),
+    (6, 4, "memory-full", 1.0e-3, 1.0e-3, False),
+    (7, 16, "memory-full", 20.0e-6, 20.0e-6, False),
+    (8, 5, "mumps-workload", 0.0, 0.0, False),
+    (9, 4, "hybrid", 0.0, 0.0, True),
+    (10, 2, "memory-task", 1.0e-3, 20.0e-6, False),
+    (11, 8, "memory-slave", 20.0e-6, 1.0e-3, False),
+    (12, 6, "memory-full", 0.0, 20.0e-6, False),
+    (13, 3, "hybrid", 1.0e-3, 0.0, False),
+    (14, 16, "mumps-workload", 0.0, 0.0, False),
+    (15, 7, "memory-basic", 20.0e-6, 20.0e-6, False),
+]
+
+
+def random_tree(seed: int) -> AssemblyTree:
+    """A random valid assembly tree (postordered forest, random geometry)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 70))
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n - 1):
+        # mostly one root; an occasional cut makes a forest
+        parent[j] = -1 if rng.random() < 0.04 else int(rng.integers(j + 1, n))
+    npiv = rng.integers(1, 18, size=n)
+    nfront = npiv + rng.integers(0, 40, size=n)
+    symmetric = bool(rng.random() < 0.5)
+    return AssemblyTree(npiv, nfront, parent, symmetric=symmetric, nvars=int(npiv.sum()))
+
+
+def run_engine(tree, config, mapping, strategy: str, engine: str):
+    slave, task = get_strategy(strategy).build()
+    return FactorizationSimulator(
+        tree,
+        config=config,
+        mapping=mapping,
+        slave_selector=slave,
+        task_selector=task,
+        engine=engine,
+    ).run()
+
+
+def assert_identical(fast, ref, *, traces: bool = False) -> None:
+    np.testing.assert_array_equal(fast.per_proc_peak_stack, ref.per_proc_peak_stack)
+    np.testing.assert_array_equal(fast.per_proc_factor_entries, ref.per_proc_factor_entries)
+    np.testing.assert_array_equal(fast.per_proc_tasks, ref.per_proc_tasks)
+    assert fast.total_time == ref.total_time
+    assert fast.message_counts == ref.message_counts
+    assert fast.slave_selections == ref.slave_selections
+    assert fast.nodes == ref.nodes
+    assert fast.total_factor_entries == ref.total_factor_entries
+    if traces:
+        assert fast.trace is not None and ref.trace is not None
+        for p in range(fast.nprocs):
+            np.testing.assert_array_equal(fast.trace.times[p], ref.trace.times[p])
+            np.testing.assert_array_equal(fast.trace.stack[p], ref.trace.stack[p])
+            np.testing.assert_array_equal(fast.trace.factors[p], ref.trace.factors[p])
+
+
+class TestEngineIdentityFuzz:
+    """Randomized scenario matrix: fast engine ≡ reference engine, bitwise."""
+
+    @pytest.mark.parametrize(
+        "seed,nprocs,strategy,latency,mem_latency,traces", SCENARIOS
+    )
+    def test_random_scenarios(self, seed, nprocs, strategy, latency, mem_latency, traces):
+        tree = random_tree(seed)
+        config = SimulationConfig(
+            nprocs=nprocs,
+            type2_front_threshold=24,
+            type2_cb_threshold=6,
+            type3_front_threshold=72,
+            latency=latency,
+            memory_message_latency=mem_latency,
+            min_rows_per_slave=2,
+            track_traces=traces,
+        )
+        mapping = compute_mapping(
+            tree,
+            nprocs,
+            type2_front_threshold=config.type2_front_threshold,
+            type2_cb_threshold=config.type2_cb_threshold,
+            type3_front_threshold=config.type3_front_threshold,
+        )
+        fast = run_engine(tree, config, mapping, strategy, "fast")
+        ref = run_engine(tree, config, mapping, strategy, "reference")
+        assert_identical(fast, ref, traces=traces)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_matrix_built_tree(self, strategy):
+        """One realistic tree (pattern → analysis) per strategy, both engines."""
+        pattern = grid_2d(14, 14)
+        tree = build_assembly_tree(pattern, None, keep_variables=False)
+        config = SimulationConfig.paper(nprocs=4, type2_front_threshold=40, type2_cb_threshold=8)
+        mapping = compute_mapping(tree, 4, **config.mapping_params())
+        fast = run_engine(tree, config, mapping, strategy, "fast")
+        ref = run_engine(tree, config, mapping, strategy, "reference")
+        assert_identical(fast, ref)
+
+
+class TestEngineSelection:
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine() == "reference"
+        tree = random_tree(3)
+        config = SimulationConfig(nprocs=2)
+        slave, task = get_strategy("memory-full").build()
+        sim = FactorizationSimulator(
+            tree, config=config, slave_selector=slave, task_selector=task
+        )
+        assert sim.engine == "reference"
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine() == "fast"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine("fast") == "fast"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulator engine"):
+            resolve_engine("warp")
+
+
+# --------------------------------------------------------------------------- #
+# selector-level equivalence: vectorized ≡ scalar reference
+# --------------------------------------------------------------------------- #
+def random_context(seed: int) -> SlaveSelectionContext:
+    rng = np.random.default_rng(seed)
+    nprocs = int(rng.integers(2, 40))
+    master = int(rng.integers(0, nprocs))
+    pool = [q for q in range(nprocs) if q != master]
+    ncand = int(rng.integers(1, len(pool) + 1))
+    candidates = list(rng.choice(pool, size=ncand, replace=False))
+    candidates = [int(q) for q in candidates]
+    npiv = int(rng.integers(1, 60))
+    ncb = int(rng.integers(0, 120))
+    memory = rng.uniform(0.0, 5e4, size=nprocs)
+    # exercise exact ties in the sort and in the levelling boundary
+    if nprocs > 4 and rng.random() < 0.5:
+        memory[:: 2] = memory[0]
+    return SlaveSelectionContext(
+        master_proc=master,
+        node=0,
+        npiv=npiv,
+        nfront=npiv + ncb,
+        ncb=ncb,
+        symmetric=bool(rng.random() < 0.5),
+        candidates=candidates,
+        memory_view=memory,
+        effective_memory_view=memory + rng.uniform(0.0, 1e4, size=nprocs),
+        load_view=rng.uniform(0.0, 1e9, size=nprocs),
+        own_load=float(rng.uniform(0.0, 1e9)),
+        own_memory=float(rng.uniform(0.0, 5e4)),
+        min_rows_per_slave=int(rng.integers(1, 8)),
+        max_slaves=int(rng.integers(1, nprocs)),
+    )
+
+
+class TestSelectorVectorization:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_memory_selector_matches_scalar(self, seed):
+        ctx = random_context(seed)
+        for use_predictions in (False, True):
+            vec = MemorySlaveSelector(use_predictions=use_predictions).select(ctx)
+            ref = MemorySlaveSelector(
+                use_predictions=use_predictions, vectorized=False
+            ).select(ctx)
+            assert vec == ref
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_workload_selector_matches_scalar(self, seed):
+        ctx = random_context(seed + 1000)
+        for proportional in (False, True):
+            vec = WorkloadSlaveSelector(proportional=proportional).select(ctx)
+            ref = WorkloadSlaveSelector(
+                proportional=proportional, vectorized=False
+            ).select(ctx)
+            assert vec == ref
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_hybrid_selector_matches_scalar(self, seed):
+        ctx = random_context(seed + 2000)
+        for alpha in (0.0, 0.3, 1.0):
+            vec = HybridSlaveSelector(alpha=alpha).select(ctx)
+            ref = HybridSlaveSelector(alpha=alpha, vectorized=False).select(ctx)
+            assert vec == ref
+
+    def test_empty_candidates_and_zero_rows(self):
+        ctx = random_context(7)
+        empty = SlaveSelectionContext(
+            master_proc=ctx.master_proc,
+            node=0,
+            npiv=ctx.npiv,
+            nfront=ctx.nfront,
+            ncb=0,
+            symmetric=ctx.symmetric,
+            candidates=[],
+            memory_view=ctx.memory_view,
+            effective_memory_view=ctx.effective_memory_view,
+            load_view=ctx.load_view,
+            own_load=ctx.own_load,
+            own_memory=ctx.own_memory,
+        )
+        for selector in (MemorySlaveSelector(), WorkloadSlaveSelector(), HybridSlaveSelector()):
+            assert selector.select(empty) == []
