@@ -244,3 +244,32 @@ class AnalysisPipeline:
         analysis = self.analysis_for(spec)
         result = self.simulate(spec)
         return CaseResult.from_simulation(analysis, spec.strategy, result)
+
+    def run_cases_batched(self, specs: Iterable[CaseSpec]) -> list[CaseResult]:
+        """Run many cases, batching those that share an analysis.
+
+        Specs are grouped by their mapping stage key plus the effective
+        machine config (``track_traces`` aside — it varies freely within a
+        batch); each group runs in-process against one precomputed
+        scheduling geometry and one shared view bank
+        (:func:`repro.pipeline.stages.simulate_batch`).  Results come back
+        in input order and are bit-identical to :meth:`run_case` one by one.
+        """
+        from repro.pipeline.stages import simulate_batch
+
+        specs = list(specs)
+        groups: dict[object, list[int]] = {}
+        for i, spec in enumerate(specs):
+            cfg = self.effective_config(spec)
+            cfg_key = tuple(
+                sorted((k, v) for k, v in cfg.__dict__.items() if k != "track_traces")
+            )
+            groups.setdefault((self.stage_key("mapping", spec), cfg_key), []).append(i)
+        results: list[CaseResult | None] = [None] * len(specs)
+        for idxs in groups.values():
+            for i, sim_result in zip(idxs, simulate_batch(self, [specs[i] for i in idxs])):
+                spec = specs[i]
+                results[i] = CaseResult.from_simulation(
+                    self.analysis_for(spec), spec.strategy, sim_result
+                )
+        return results

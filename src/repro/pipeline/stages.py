@@ -184,6 +184,40 @@ class SimulationStage(Stage):
         return sim.run()
 
 
+def simulate_batch(engine, specs: "list[CaseSpec]"):
+    """Simulate case specs sharing one analysis and machine config in a batch.
+
+    The specs must agree on everything upstream of the strategy (same mapping
+    key, same config apart from ``track_traces``) — the grouping in
+    :meth:`AnalysisPipeline.run_cases_batched` guarantees this.  One shared
+    :class:`~repro.runtime.geometry.SimGeometry` and view bank serve every
+    run (see :mod:`repro.runtime.batch`); results are bit-identical to the
+    per-case :class:`SimulationStage` path and come back in spec order.
+    """
+    from repro.runtime.batch import BatchScenario, run_batch
+
+    first = specs[0]
+    tree = engine.artifact("split", first).tree
+    mapping = engine.artifact("mapping", first)
+    scenarios = []
+    for spec in specs:
+        preset, strategy_params = resolve_strategy(spec.strategy)
+        slave_selector, task_selector = preset.build(**strategy_params)
+        scenarios.append(
+            BatchScenario(
+                slave_selector=slave_selector,
+                task_selector=task_selector,
+                strategy_name=preset.name,
+                config=engine.effective_config(spec).replace(
+                    track_traces=bool(spec.track_traces)
+                ),
+            )
+        )
+    return run_batch(
+        tree, scenarios, config=engine.effective_config(first), mapping=mapping
+    )
+
+
 #: the stage chain in dependency order, as instantiated by the engine.
 DEFAULT_STAGES: tuple[type[Stage], ...] = (
     PatternStage,

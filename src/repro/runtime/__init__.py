@@ -11,21 +11,26 @@ about), and per-processor accounting of the factor area and of the stack of
 contribution blocks in *entries* — the unit of every table of the paper.
 """
 
+from repro.runtime.batch import BatchScenario, run_batch
 from repro.runtime.config import SimulationConfig
 from repro.runtime.events import EventQueue, FlatEventQueue
+from repro.runtime.geometry import SimGeometry
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.memory_state import ProcessorMemory
 from repro.runtime.loadview import SystemView, ViewBank
 from repro.runtime.tasks import Task, TaskKind
 from repro.runtime.processor import ProcessorState
 from repro.runtime.simulator import (
+    DEFAULT_ENGINE,
+    ENGINE_ALIASES,
     SIM_ENGINE_ENV,
     SIM_ENGINES,
     FactorizationSimulator,
     SimulationResult,
     resolve_engine,
 )
-from repro.runtime.trace import SimulationTrace
+from repro.runtime.soa import SimState
+from repro.runtime.trace import SimulationTrace, TraceBuffer
 
 __all__ = [
     "SimulationConfig",
@@ -33,6 +38,8 @@ __all__ = [
     "FlatEventQueue",
     "SIM_ENGINES",
     "SIM_ENGINE_ENV",
+    "ENGINE_ALIASES",
+    "DEFAULT_ENGINE",
     "resolve_engine",
     "CommunicationModel",
     "Message",
@@ -46,4 +53,9 @@ __all__ = [
     "FactorizationSimulator",
     "SimulationResult",
     "SimulationTrace",
+    "TraceBuffer",
+    "SimGeometry",
+    "SimState",
+    "BatchScenario",
+    "run_batch",
 ]

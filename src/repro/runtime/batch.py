@@ -1,0 +1,104 @@
+"""Batched simulation runs over one shared analysis.
+
+A scheduling sweep (the paper's tables: one row per strategy, the columns a
+fixed problem/ordering/nprocs) re-simulates the *same* assembly tree and
+static mapping many times.  The per-run cost of rebuilding the scheduling
+geometry and allocating fresh ``(nprocs, nprocs)`` view banks then rivals the
+event loop itself.  :func:`run_batch` amortizes both: it precomputes one
+:class:`~repro.runtime.geometry.SimGeometry` and one
+:class:`~repro.runtime.loadview.ViewBank` and runs every scenario against
+them in-process (the simulator resets a reused bank, so runs stay
+independent — pinned by the batch-identity test in
+``tests/test_engine_identity.py``).
+
+The pipeline layer builds on this through
+:meth:`repro.pipeline.engine.AnalysisPipeline.run_cases_batched` /
+``Session.sweep(batch=True)``, which group case specs by their upstream
+analysis key and machine config before dispatching here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.mapping.layers import StaticMapping, compute_mapping
+from repro.runtime.config import SimulationConfig
+from repro.runtime.geometry import SimGeometry
+from repro.runtime.loadview import ViewBank
+from repro.scheduling.base import SlaveSelector, TaskSelector
+
+__all__ = ["BatchScenario", "run_batch"]
+
+
+@dataclass
+class BatchScenario:
+    """One strategy to simulate against the shared (tree, mapping, nprocs).
+
+    ``config`` optionally overrides the batch-level configuration for this
+    scenario (e.g. to enable traces on a single run); it must keep the same
+    ``nprocs`` — anything that changes the mapping or geometry belongs in a
+    different batch.
+    """
+
+    slave_selector: SlaveSelector
+    task_selector: TaskSelector
+    strategy_name: str = ""
+    config: Optional[SimulationConfig] = None
+
+
+def run_batch(
+    tree,
+    scenarios: Iterable[BatchScenario],
+    *,
+    config: SimulationConfig | None = None,
+    mapping: StaticMapping | None = None,
+    engine: str | None = None,
+):
+    """Simulate every scenario against one precomputed geometry and view bank.
+
+    Returns the list of :class:`~repro.runtime.simulator.SimulationResult`
+    in scenario order.  Results are bit-identical to constructing one
+    simulator per scenario from scratch: the geometry is a pure function of
+    ``(tree, mapping, nprocs)`` and the simulator resets the shared bank
+    before each run.
+    """
+    from repro.runtime.simulator import FactorizationSimulator
+
+    base = config if config is not None else SimulationConfig()
+    if mapping is None:
+        mapping = compute_mapping(
+            tree,
+            base.nprocs,
+            type2_front_threshold=base.type2_front_threshold,
+            type2_cb_threshold=base.type2_cb_threshold,
+            type3_front_threshold=base.type3_front_threshold,
+            imbalance_tolerance=base.imbalance_tolerance,
+            min_subtrees_per_proc=base.min_subtrees_per_proc,
+            subtree_cost=base.subtree_cost,
+        )
+    if mapping.nprocs != base.nprocs:
+        raise ValueError("mapping.nprocs does not match config.nprocs")
+    geometry = SimGeometry.for_run(tree, mapping, base.nprocs)
+    views = ViewBank(base.nprocs)
+    results = []
+    for sc in scenarios:
+        cfg = sc.config if sc.config is not None else base
+        if cfg.nprocs != base.nprocs:
+            raise ValueError(
+                f"scenario {sc.strategy_name!r} changes nprocs "
+                f"({cfg.nprocs} != {base.nprocs}); start a new batch instead"
+            )
+        sim = FactorizationSimulator(
+            tree,
+            config=cfg,
+            mapping=mapping,
+            slave_selector=sc.slave_selector,
+            task_selector=sc.task_selector,
+            strategy_name=sc.strategy_name,
+            views=views,
+            engine=engine,
+            geometry=geometry,
+        )
+        results.append(sim.run())
+    return results

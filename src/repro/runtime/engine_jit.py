@@ -1,0 +1,83 @@
+"""Optionally numba-compiled kernels for the SoA engine (``engine="jit"``).
+
+The SoA event loop of :mod:`repro.runtime.soa` has exactly two operations
+that touch ``(nprocs, nprocs)`` state wholesale: delivering a broadcast (one
+column assignment of a :class:`~repro.runtime.loadview.ViewBank` bank) and
+applying slave-block reservations (clamped column additions).  This module
+compiles those two with numba when it is available; everything else already
+runs as scalar Python over the SoA slots, where a JIT would spend more time
+boxing than the loop body costs.
+
+numba is an *optional* dependency: when it is not installed (the CI matrix
+exercises this leg explicitly), :func:`run_jit` silently degrades to the
+pure-Python SoA loop — same events, same floats, same results.  The
+``tests/test_engine_identity.py`` fuzz matrix pins ``jit`` bit-identical to
+``reference`` either way.
+
+The kernels replicate the vectorized numpy forms bit-for-bit: the clamp
+compares against zero exactly like ``max(float(value), 0.0)`` on the values
+that occur (no negative zeros reach the clamp), and the source/self slots
+are saved and restored around the column write in the same order.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.soa import run_soa
+
+__all__ = ["HAVE_NUMBA", "run_jit"]
+
+try:  # pragma: no cover - exercised by the no-numba CI leg
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    njit = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)
+    def _broadcast_kernel(mat, source, value, clamp):  # pragma: no cover - compiled
+        if clamp and value < 0.0:
+            value = 0.0
+        keep = mat[source, source]
+        for i in range(mat.shape[0]):
+            mat[i, source] = value
+        mat[source, source] = keep
+
+    @njit(cache=True)
+    def _reservations_kernel(memory, source, qs, blocks):  # pragma: no cover - compiled
+        n = memory.shape[0]
+        for k in range(qs.shape[0]):
+            q = qs[k]
+            b = blocks[k]
+            keep_source = memory[source, q]
+            keep_self = memory[q, q]
+            for i in range(n):
+                x = memory[i, q] + b
+                if x < 0.0:
+                    x = 0.0
+                memory[i, q] = x
+            memory[source, q] = keep_source
+            memory[q, q] = keep_self
+
+    class _Kernels:
+        broadcast = staticmethod(_broadcast_kernel)
+        reservations = staticmethod(_reservations_kernel)
+
+    _KERNELS = _Kernels()
+else:
+    _KERNELS = None
+
+
+def run_jit(sim):
+    """Run ``sim`` with the SoA loop, using compiled kernels when possible.
+
+    Falls back to the pure-Python SoA path when numba is absent or the
+    simulator uses scalar (non-vectorized) views — the kernels only exist
+    for the banked matrices.
+    """
+    if _KERNELS is not None and sim.views.vectorized:
+        return run_soa(sim, kernels=_KERNELS)
+    return run_soa(sim)

@@ -35,6 +35,8 @@ __all__ = [
     "EV_BROADCAST",
     "EV_RESERVATION",
     "EV_KICK",
+    "EV_SLAVE_TASK",
+    "EV_CHILD_COMPLETED",
     "BK_MEMORY",
     "BK_LOAD",
     "BK_SUBTREE",
@@ -51,6 +53,12 @@ EV_MESSAGE = 1      # (msg,) — a point-to-point Message arrives
 EV_BROADCAST = 2    # (kind_id, source, value) — a view broadcast arrives everywhere
 EV_RESERVATION = 3  # (source, reservations) — slave-block reservations arrive
 EV_KICK = 4         # (proc,) — initial "look at your pool" nudge at t=0
+
+# The SoA engine dissolves point-to-point :class:`Message` objects into the
+# flat tuples themselves (the heap doubles as the message ring buffer): the
+# two message kinds become dedicated tags carrying integer operands.
+EV_SLAVE_TASK = 5        # (dest, task_id) — a type-2 slave task descriptor arrives
+EV_CHILD_COMPLETED = 6   # (parent,) — a child-completed notification arrives
 
 #: broadcast kinds, indexed consistently with ``ViewBank`` column banks.
 BK_MEMORY = 0

@@ -6,29 +6,77 @@ contribution blocks plus the active frontal matrices and communication
 buffers.  The scheduling strategies act on the *working* area — the paper's
 "stack memory" — and every table reports its per-processor peak, so that is
 the quantity tracked with full history here.
+
+The history is recorded into a :class:`~repro.runtime.trace.TraceBuffer`
+(preallocated numpy columns) instead of three Python lists, so tracing large
+runs costs scalar array stores rather than object appends; the
+``trace_times``/``trace_stack``/``trace_factors`` properties stay
+array-like (``len``, indexing, numpy conversion) for the figure harnesses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
+
+from repro.runtime.trace import TraceBuffer
 
 __all__ = ["ProcessorMemory"]
 
+#: shared empty history returned while tracing is disabled
+_EMPTY = np.empty(0, dtype=np.float64)
 
-@dataclass(slots=True)
+
 class ProcessorMemory:
     """Memory state of one simulated processor (all values in entries)."""
 
-    proc: int
-    stack: float = 0.0
-    factors: float = 0.0
-    peak_stack: float = 0.0
-    peak_time: float = 0.0
-    track_trace: bool = False
-    trace_times: list[float] = field(default_factory=list)
-    trace_stack: list[float] = field(default_factory=list)
-    trace_factors: list[float] = field(default_factory=list)
+    __slots__ = ("proc", "stack", "factors", "peak_stack", "peak_time", "_trace")
 
+    def __init__(
+        self,
+        proc: int,
+        stack: float = 0.0,
+        factors: float = 0.0,
+        peak_stack: float = 0.0,
+        peak_time: float = 0.0,
+        track_trace: bool = False,
+    ) -> None:
+        self.proc = proc
+        self.stack = stack
+        self.factors = factors
+        self.peak_stack = peak_stack
+        self.peak_time = peak_time
+        self._trace = TraceBuffer() if track_trace else None
+
+    # ------------------------------------------------------------------ #
+    # trace access (history recording is toggled by assigning track_trace)
+    # ------------------------------------------------------------------ #
+    @property
+    def track_trace(self) -> bool:
+        return self._trace is not None
+
+    @track_trace.setter
+    def track_trace(self, enabled: bool) -> None:
+        if enabled:
+            if self._trace is None:
+                self._trace = TraceBuffer()
+        else:
+            self._trace = None
+
+    @property
+    def trace_times(self) -> np.ndarray:
+        return self._trace.times if self._trace is not None else _EMPTY
+
+    @property
+    def trace_stack(self) -> np.ndarray:
+        return self._trace.stack if self._trace is not None else _EMPTY
+
+    @property
+    def trace_factors(self) -> np.ndarray:
+        return self._trace.factors if self._trace is not None else _EMPTY
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
     def _after_change(self, now: float) -> None:
         if self.stack < -1e-6:
             raise RuntimeError(
@@ -37,10 +85,9 @@ class ProcessorMemory:
         if self.stack > self.peak_stack:
             self.peak_stack = self.stack
             self.peak_time = now
-        if self.track_trace:
-            self.trace_times.append(now)
-            self.trace_stack.append(self.stack)
-            self.trace_factors.append(self.factors)
+        trace = self._trace
+        if trace is not None:
+            trace.append(now, self.stack, self.factors)
 
     def allocate_stack(self, entries: float, now: float) -> None:
         """Grow the working area (front allocation, CB push, receive buffer)."""
@@ -61,12 +108,17 @@ class ProcessorMemory:
         if entries < 0:
             raise ValueError("entries must be >= 0")
         self.factors += entries
-        if self.track_trace:
-            self.trace_times.append(now)
-            self.trace_stack.append(self.stack)
-            self.trace_factors.append(self.factors)
+        trace = self._trace
+        if trace is not None:
+            trace.append(now, self.stack, self.factors)
 
     @property
     def total(self) -> float:
         """Current total memory (factors + working area)."""
         return self.stack + self.factors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessorMemory(proc={self.proc}, stack={self.stack:.3g}, "
+            f"factors={self.factors:.3g}, peak_stack={self.peak_stack:.3g})"
+        )

@@ -10,25 +10,39 @@ in the local pools — are delegated to strategy objects from
 memory-based strategies run on an identical substrate and their stack peaks
 can be compared head to head.
 
-Two event engines execute the same simulation (selected with the
+Four event engines execute the same simulation (selected with the
 ``engine=`` argument or the ``REPRO_SIM_ENGINE`` environment variable, see
 ``docs/benchmarks.md`` for the full anatomy):
 
-``fast`` (default)
+``soa`` (default)
+    The structure-of-arrays engine of :mod:`repro.runtime.soa`: processor
+    and task fields live in parallel array slots, point-to-point messages
+    dissolve into the flat event tuples, and the whole run executes inside
+    one monolithic event loop with the handlers inlined.  Shared per-node
+    geometry comes from a memoized :class:`~repro.runtime.geometry.SimGeometry`.
+    A custom (non built-in) task selector silently falls back to ``flat``,
+    which honours the full selector contract.
+
+``jit``
+    The SoA loop with its vectorized view updates replaced by numba-compiled
+    kernels (:mod:`repro.runtime.engine_jit`).  When numba is not installed
+    the engine degrades to the pure-Python ``soa`` path — same results,
+    no hard dependency.
+
+``flat`` (alias: ``fast``)
     Events are raw ``(time, seq, tag_id, a, b, c)`` tuples popped off a flat
     heap and dispatched through a handler table indexed by the integer tag;
     broadcast storms that share a timestamp are coalesced into a single
-    :class:`~repro.runtime.loadview.ViewBank` column update; per-node
-    geometry (flops, activation memory, candidate lists) is precomputed as
-    numpy arrays at ``_setup``; the built-in task selectors are inlined so a
-    scheduling decision does not copy the pool or build a context object.
+    :class:`~repro.runtime.loadview.ViewBank` column update; the built-in
+    task selectors are inlined so a scheduling decision does not copy the
+    pool or build a context object.
 
 ``reference``
     The historical event core — one :class:`ScheduledEvent` dataclass per
     event, string-tagged payloads dispatched through an if/elif chain,
     per-decision candidate list building and context-based task selection —
-    kept executable so the fuzz suite can pin the fast engine bit-identical
-    to it (``tests/test_engine_identity.py``).
+    kept executable so the fuzz suite can pin every other engine
+    bit-identical to it (``tests/test_engine_identity.py``).
 
 Faithfulness notes (documented simplifications):
 
@@ -46,6 +60,7 @@ Faithfulness notes (documented simplifications):
 
 from __future__ import annotations
 
+import difflib
 import heapq
 import os
 from collections import defaultdict
@@ -70,6 +85,7 @@ from repro.runtime.events import (
     EventQueue,
     FlatEventQueue,
 )
+from repro.runtime.geometry import SimGeometry
 from repro.runtime.loadview import ViewBank
 from repro.runtime.messages import CommunicationModel, Message, MessageKind
 from repro.runtime.processor import ProcessorState
@@ -87,32 +103,50 @@ from repro.scheduling.task_selection import (
     LifoTaskSelector,
     MemoryAwareTaskSelector,
 )
-from repro.symbolic.liu_order import order_children_for_memory, subtree_peaks_given_order
 
 __all__ = [
     "FactorizationSimulator",
     "SimulationResult",
     "SIM_ENGINES",
     "SIM_ENGINE_ENV",
+    "ENGINE_ALIASES",
+    "DEFAULT_ENGINE",
     "resolve_engine",
 ]
 
-#: the two event engines; both produce bit-identical :class:`SimulationResult`.
-SIM_ENGINES = ("fast", "reference")
+#: the event engines; all produce bit-identical :class:`SimulationResult`.
+SIM_ENGINES = ("soa", "jit", "flat", "reference")
+
+#: historical names accepted by ``resolve_engine`` and mapped to engines.
+ENGINE_ALIASES = {"fast": "flat"}
+
+#: engine used when neither ``engine=`` nor the environment selects one.
+DEFAULT_ENGINE = "soa"
 
 #: environment variable selecting the engine when ``engine=None``.
 SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
 def resolve_engine(engine: str | None = None) -> str:
-    """Resolve the engine name (argument first, then environment, then fast)."""
+    """Resolve and validate the engine name.
+
+    Precedence: explicit argument, then the ``REPRO_SIM_ENGINE`` environment
+    variable, then :data:`DEFAULT_ENGINE`.  Historical aliases
+    (``fast`` → ``flat``) are accepted; anything else raises a
+    ``ValueError`` with a did-you-mean hint when a close name exists.
+    """
     if engine is None:
-        engine = os.environ.get(SIM_ENGINE_ENV) or "fast"
+        engine = os.environ.get(SIM_ENGINE_ENV) or DEFAULT_ENGINE
     engine = str(engine).strip().lower()
+    engine = ENGINE_ALIASES.get(engine, engine)
     if engine not in SIM_ENGINES:
+        close = difflib.get_close_matches(
+            engine, SIM_ENGINES + tuple(ENGINE_ALIASES), n=1, cutoff=0.5
+        )
+        hint = f" — did you mean {close[0]!r}?" if close else ""
         raise ValueError(
             f"unknown simulator engine {engine!r}: choose one of {SIM_ENGINES} "
-            f"(or set {SIM_ENGINE_ENV})"
+            f"(or set {SIM_ENGINE_ENV}){hint}"
         )
     return engine
 
@@ -201,10 +235,28 @@ class FactorizationSimulator:
         strategy_name: str = "",
         views: ViewBank | None = None,
         engine: str | None = None,
+        geometry: SimGeometry | None = None,
     ) -> None:
         self.tree = tree
         self.config = config if config is not None else SimulationConfig()
         self.engine = resolve_engine(engine)
+        # the *execution* path may differ from the requested engine: the SoA
+        # loop inlines the built-in task selectors, so a custom selector
+        # (whose ``select`` contract needs the object pool) degrades to the
+        # flat engine — same results, full contract
+        sel_type = type(task_selector)
+        if sel_type is LifoTaskSelector:
+            self._soa_task_mode = 0
+        elif sel_type is FifoTaskSelector:
+            self._soa_task_mode = 1
+        elif sel_type is MemoryAwareTaskSelector:
+            self._soa_task_mode = 2
+        else:
+            self._soa_task_mode = None
+        exec_engine = self.engine
+        if exec_engine in ("soa", "jit") and self._soa_task_mode is None:
+            exec_engine = "flat"
+        self._exec_engine = exec_engine
         if mapping is None:
             mapping = compute_mapping(
                 tree,
@@ -228,9 +280,9 @@ class FactorizationSimulator:
             bandwidth_entries=self.config.bandwidth_entries,
             small_message_latency=self.config.memory_message_latency,
         )
-        # both queues order events by (time, seq) and receive identical push
-        # sequences, so the two engines pop events in exactly the same order
-        self.queue = FlatEventQueue() if self.engine == "fast" else EventQueue()
+        # all queues order events by (time, seq) and receive identical push
+        # sequences, so the engines pop events in exactly the same order
+        self.queue = EventQueue() if exec_engine == "reference" else FlatEventQueue()
         # all system views live in one bank: broadcast and reservation events
         # touch every processor at once, which the bank applies as single
         # numpy column updates instead of per-processor loops
@@ -246,14 +298,12 @@ class FactorizationSimulator:
         ]
         for p in self.procs:
             p.memory.track_trace = self.config.track_traces
-        self.node_state = [
-            _NodeState(len(tree.children(i))) for i in range(tree.nnodes)
-        ]
-        # Liu's child ordering is deterministic in the tree alone: computed
-        # once and shared by the subtree peaks and every pool initialisation
-        # (the seed engine recomputed it once per processor)
-        self._liu_order = order_children_for_memory(tree)
-        self.subtree_peaks = subtree_peaks_given_order(tree, self._liu_order)
+        # per-node book-keeping of the object engines; built in ``_setup``
+        # (the SoA loop keeps its own array state instead)
+        self.node_state: list[_NodeState] | None = None
+        self._geometry_arg = geometry
+        self.geometry: SimGeometry | None = None
+        self.state = None  # the SoA engine attaches its final SimState here
         self.message_counts: dict[str, int] = defaultdict(int)
         self.slave_selections = 0
         # upper-layer tasks owned by a processor whose activation is imminent
@@ -262,11 +312,11 @@ class FactorizationSimulator:
         self._finished_nodes = 0
         self._ran = False
 
-        if self.engine == "fast":
+        if exec_engine == "reference":
+            self._try_start = self._try_start_reference
+        else:
             self._try_start = self._try_start_fast
             self._fast_task_pick = self._resolve_fast_task_pick()
-        else:
-            self._try_start = self._try_start_reference
 
     # ------------------------------------------------------------------ #
     # geometry helpers (fast scalar reads of the arrays built in _setup)
@@ -296,57 +346,40 @@ class FactorizationSimulator:
     # setup
     # ------------------------------------------------------------------ #
     def _precompute_geometry(self) -> None:
-        """Per-node scheduling geometry as numpy arrays (plus fast scalar lists).
+        """Bind the per-node scheduling geometry (shared :class:`SimGeometry`).
 
-        Every quantity is produced by the same integer/float expressions the
-        scalar tree methods use (vectorized elementwise, no reductions), so
-        the values are bit-identical to recomputing them per task — the seed
-        engine's behaviour — while costing one array pass per run.
+        The geometry is a pure function of ``(tree, mapping, nprocs)``:
+        either the caller passed one (the batched sweep path) or the memoized
+        :meth:`SimGeometry.for_run` provides it.  Scalar plain-list mirrors
+        are re-exposed under the historical attribute names the object
+        engines read on their per-event hot paths.
         """
         if getattr(self, "_geometry_ready", False):
             return
-        tree = self.tree
-        cfg = self.config
-        node_type = np.asarray(self.mapping.node_type, dtype=np.int64)
-        front = tree.front_entries_all().astype(np.float64)
-        master = tree.master_entries_all().astype(np.float64)
-        is_type2 = node_type == int(NodeType.TYPE2)
-        is_type3 = node_type == int(NodeType.TYPE3)
-
-        # flops of the node's pool task (master part for type 2) and entries
-        # added to the owner's stack at activation, built as whole-tree numpy
-        # arrays and mirrored to plain lists for the scalar per-event reads
-        task_flops = np.where(is_type2, tree.type2_master_flops_all(), tree.factor_flops_all())
-        task_memory = np.where(is_type2, master, np.where(is_type3, front / cfg.nprocs, front))
-        self._task_flops = task_flops.tolist()
-        self._task_memory = task_memory.tolist()
-        self._front_entries = front.tolist()
-        self._factor_entries = tree.factor_entries_all().astype(np.float64).tolist()
-        self._cb_entries = tree.cb_entries_all().astype(np.float64).tolist()
-        self._master_entries = master.tolist()
-        self._assembly_flops = tree.assembly_flops_all().tolist()
-        self._npiv = tree.npiv.tolist()
-        self._nfront = tree.nfront.tolist()
-        self._node_type = node_type.tolist()
-        self._owner = np.asarray(self.mapping.owner, dtype=np.int64).tolist()
-        self._subtree_of = np.asarray(self.mapping.subtree_of, dtype=np.int64).tolist()
-        self._parent = tree.parent.tolist()
-        self._children = tree.child_lists() if hasattr(tree, "child_lists") else [
-            tree.children(i) for i in range(tree.nnodes)
-        ]
-        self._tree_leaves = tree.leaves()
-
-        if self.engine == "fast":
-            # candidate lists of every type-2 node are static (the master is
-            # the node's owner): precompute them instead of rebuilding one
-            # list per slave selection
-            self._type2_candidates = {}
-            for node in np.nonzero(is_type2)[0].tolist():
-                owner = self._owner[node]
-                cands = [q for q in self.mapping.candidates.get(node, []) if q != owner]
-                if not cands:
-                    cands = [q for q in range(cfg.nprocs) if q != owner]
-                self._type2_candidates[node] = cands
+        geom = self._geometry_arg
+        if geom is None:
+            geom = SimGeometry.for_run(self.tree, self.mapping, self.config.nprocs)
+        elif geom.nprocs != self.config.nprocs:
+            raise ValueError("geometry.nprocs does not match config.nprocs")
+        self.geometry = geom
+        self._task_flops = geom.task_flops
+        self._task_memory = geom.task_memory
+        self._front_entries = geom.front_entries
+        self._factor_entries = geom.factor_entries
+        self._cb_entries = geom.cb_entries
+        self._master_entries = geom.master_entries
+        self._assembly_flops = geom.assembly_flops
+        self._npiv = geom.npiv
+        self._nfront = geom.nfront
+        self._node_type = geom.node_type
+        self._owner = geom.owner
+        self._subtree_of = geom.subtree_of
+        self._parent = geom.parent
+        self._children = geom.children
+        self._tree_leaves = geom.tree_leaves
+        self._type2_candidates = geom.type2_candidates
+        self._liu_order = geom.liu_order
+        self.subtree_peaks = geom.subtree_peaks
         # only flag readiness once every array exists: a mid-build failure
         # must surface again at the next call, not as a distant AttributeError
         self._geometry_ready = True
@@ -354,54 +387,19 @@ class FactorizationSimulator:
     def _initial_pool_order(self, proc: int, my_subtrees: list[int] | None = None) -> list[int]:
         """Leaf nodes assigned to ``proc`` in the order they should be processed.
 
-        Leaves are grouped per subtree and, inside each subtree, listed in the
-        order a depth-first traversal with Liu's child ordering would reach
-        them — the pool initialisation described in Section 5.2.  ``_setup``
-        passes the precomputed owner → subtree-roots grouping; standalone
-        callers (e.g. the Figure 7 harness) may omit it.
+        Delegates to :meth:`SimGeometry.initial_pool_order` (the Section 5.2
+        pool initialisation); kept as a method for standalone callers such as
+        the Figure 7 harness.
         """
         self._precompute_geometry()
-        if my_subtrees is None:
-            my_subtrees = [
-                r for r in self.mapping.subtree_roots if self._owner[r] == proc
-            ]
-        liu = self._liu_order
-        order: list[int] = []
-        for r in sorted(my_subtrees):
-            stack = [(r, 0)]
-            # DFS following Liu order; collect the leaves in visit order
-            visit: list[int] = []
-            while stack:
-                node, idx = stack.pop()
-                children = liu[node]
-                if not children:
-                    visit.append(node)
-                    continue
-                if idx < len(children):
-                    stack.append((node, idx + 1))
-                    stack.append((children[idx], 0))
-            order.extend(visit)
-        # upper-layer leaves owned by this processor (rare but possible)
-        for i in self._tree_leaves:
-            if (
-                self._subtree_of[i] < 0
-                and self._owner[i] == proc
-                and self._node_type[i] != _TYPE3
-            ):
-                order.append(i)
-        return order
+        return self.geometry.initial_pool_order(proc, my_subtrees)
 
     def _setup(self) -> None:
-        tree = self.tree
         cfg = self.config
         self._precompute_geometry()
-        # initial workloads: cost of the statically assigned subtrees
-        initial_load = np.zeros(cfg.nprocs, dtype=np.float64)
-        subtrees_of_proc: list[list[int]] = [[] for _ in range(cfg.nprocs)]
-        for r in self.mapping.subtree_roots:
-            owner = self._owner[r]
-            initial_load[owner] += tree.subtree_flops(r)
-            subtrees_of_proc[owner].append(r)
+        geom = self.geometry
+        self.node_state = [_NodeState(n) for n in geom.nchildren]
+        initial_load = geom.initial_load
         for p in self.procs:
             p.load_remaining = float(initial_load[p.proc])
             # everyone starts with the same (exact) static knowledge of the loads
@@ -410,8 +408,7 @@ class FactorizationSimulator:
 
         # initial pools: the leaves, deepest-first subtree by subtree
         for p in self.procs:
-            processing_order = self._initial_pool_order(p.proc, subtrees_of_proc[p.proc])
-            for node in reversed(processing_order):
+            for node in reversed(geom.pool_orders[p.proc]):
                 p.push_ready_task(self._make_static_task(node))
 
         # a single-node tree (or type-3 leaves) must still start somewhere
@@ -641,7 +638,7 @@ class FactorizationSimulator:
         return total, comm_time
 
     def _candidates_for(self, node: int, master: int) -> list[int]:
-        if self.engine == "fast":
+        if self._exec_engine != "reference":
             return self._type2_candidates[node]
         candidates = [q for q in self.mapping.candidates.get(node, []) if q != master]
         if not candidates:
@@ -1021,8 +1018,19 @@ class FactorizationSimulator:
         if self._ran:
             raise RuntimeError("a FactorizationSimulator instance can only run once")
         self._ran = True
+        exec_engine = self._exec_engine
+        if exec_engine == "jit":
+            self._precompute_geometry()
+            from repro.runtime.engine_jit import run_jit
+
+            return run_jit(self)
+        if exec_engine == "soa":
+            self._precompute_geometry()
+            from repro.runtime.soa import run_soa
+
+            return run_soa(self)
         self._setup()
-        if self.engine == "fast":
+        if exec_engine == "flat":
             self._run_fast()
         else:
             self._run_reference()

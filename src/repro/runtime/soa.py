@@ -1,0 +1,915 @@
+"""Structure-of-arrays simulation engine (``engine="soa"``).
+
+The object engines (``flat``/``reference``) keep one ``ProcessorState`` /
+``ProcessorMemory`` / ``Task`` instance per entity and spend most of a run in
+attribute lookups and small method calls — profiling the flat engine shows
+~80k function calls per mid-size run, spread over ``_memory_changed`` /
+``_broadcast`` / ``push_*`` chains of three to four frames each.  This module
+replaces all of that with parallel arrays:
+
+* processor fields (``stack``, ``factors``, ``peak_stack``, ``load``,
+  ``observed_peak``, broadcast dedup values, …) live in ``(nprocs,)`` slots;
+* task fields (``kind``, ``node``, ``proc``, ``flops``, ``memory_cost``,
+  ``rows``, ``in_subtree``, ``master``, ``extra_transient``) live in
+  ``(ntasks,)`` columns appended as tasks are created, and an event names a
+  task by its integer id;
+* point-to-point messages dissolve into the flat ``(time, seq, tag, a, b,
+  c)`` event tuples themselves (tags ``EV_SLAVE_TASK`` /
+  ``EV_CHILD_COMPLETED``), so the event heap doubles as the message ring
+  buffer.
+
+:func:`run_soa` is one monolithic event loop over that layout: every handler
+of the object engines is inlined into the loop body or a single-level
+closure, state lives in hoisted locals (CPython list mirrors of the
+:class:`SimState` arrays — dense integer indexing without the ndarray scalar
+boxing), and events are pushed with inline ``heappush`` of tuples.  The final
+:class:`SimState` (numpy canonical form, written back after the run, exposed
+as ``sim.state``) is the layout the optional numba kernels of
+:mod:`repro.runtime.engine_jit` compile against.
+
+Bit-identity with the reference engine is load-bearing: both engines push the
+same events in the same order (so sequence numbers and heap pop order match)
+and perform every float operation with the same association — this is pinned
+by ``tests/test_engine_identity.py`` over the full scenario matrix, traces
+and message counts included.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.analysis.flops import (
+    type2_slave_block_entries,
+    type2_slave_factor_entries,
+    type2_slave_flops,
+)
+from repro.runtime.events import (
+    EV_BROADCAST,
+    EV_CHILD_COMPLETED,
+    EV_KICK,
+    EV_RESERVATION,
+    EV_SLAVE_TASK,
+    EV_TASK_DONE,
+)
+from repro.runtime.trace import SimulationTrace, TraceBuffer
+from repro.scheduling.base import SlaveSelectionContext, normalize_row_distribution
+
+__all__ = ["SimState", "run_soa"]
+
+# integer task-kind codes (the SoA twin of runtime.tasks.TaskKind)
+K_TYPE1 = 0
+K_TYPE2_MASTER = 1
+K_TYPE2_SLAVE = 2
+K_ROOT_SHARE = 3
+
+#: task-selector modes inlined in the loop (resolved by the simulator from
+#: the exact built-in selector types; anything else runs the flat engine)
+TASK_MODE_LIFO = 0
+TASK_MODE_FIFO = 1
+TASK_MODE_MEMORY_AWARE = 2
+
+
+class SimState:
+    """Canonical structure-of-arrays state of one finished SoA run.
+
+    Processor fields are ``(nprocs,)`` numpy arrays, task fields ``(ntasks,)``
+    arrays in creation order.  The run loop works on plain-list mirrors of
+    these slots (CPython indexes lists faster than it unboxes ndarray
+    scalars) and writes them back here; the numba kernels of
+    :mod:`repro.runtime.engine_jit` read the arrays directly.
+    """
+
+    __slots__ = (
+        "nprocs",
+        "ntasks",
+        "stack",
+        "factors",
+        "peak_stack",
+        "peak_time",
+        "load_remaining",
+        "observed_peak",
+        "tasks_done",
+        "current_subtree",
+        "task_kind",
+        "task_node",
+        "task_proc",
+        "task_flops",
+        "task_memory",
+        "task_rows",
+        "task_subtree",
+        "task_master",
+        "task_extra",
+    )
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = int(nprocs)
+        self.ntasks = 0
+        self.stack = np.zeros(nprocs, dtype=np.float64)
+        self.factors = np.zeros(nprocs, dtype=np.float64)
+        self.peak_stack = np.zeros(nprocs, dtype=np.float64)
+        self.peak_time = np.zeros(nprocs, dtype=np.float64)
+        self.load_remaining = np.zeros(nprocs, dtype=np.float64)
+        self.observed_peak = np.zeros(nprocs, dtype=np.float64)
+        self.tasks_done = np.zeros(nprocs, dtype=np.int64)
+        self.current_subtree = np.full(nprocs, -1, dtype=np.int64)
+        self.task_kind = np.empty(0, dtype=np.int8)
+        self.task_node = np.empty(0, dtype=np.int64)
+        self.task_proc = np.empty(0, dtype=np.int64)
+        self.task_flops = np.empty(0, dtype=np.float64)
+        self.task_memory = np.empty(0, dtype=np.float64)
+        self.task_rows = np.empty(0, dtype=np.int64)
+        self.task_subtree = np.empty(0, dtype=np.int64)
+        self.task_master = np.empty(0, dtype=np.int64)
+        self.task_extra = np.empty(0, dtype=np.float64)
+
+
+def run_soa(sim, *, kernels=None):
+    """Run ``sim`` to completion with the SoA event loop.
+
+    ``kernels`` optionally supplies compiled twins for the two vectorized
+    view updates (broadcast column write, reservation columns) — see
+    :mod:`repro.runtime.engine_jit`; ``None`` uses the inline numpy forms.
+    Returns the :class:`~repro.runtime.simulator.SimulationResult`, attaches
+    the final :class:`SimState` as ``sim.state`` and mirrors
+    ``sim.message_counts`` / ``sim.slave_selections`` like the object
+    engines do.
+    """
+    cfg = sim.config
+    geom = sim.geometry
+    views = sim.views
+    tracing = bool(cfg.track_traces)
+    nprocs = cfg.nprocs
+    nnodes = geom.nnodes
+    multi = nprocs > 1
+    n1 = nprocs - 1
+    notif = sim.comm.notification_time()
+    lat = sim.comm.latency
+    bw = sim.comm.bandwidth_entries
+    flop_rate = cfg.flop_rate
+    asm_rate = cfg.assembly_rate
+    min_rows = cfg.min_rows_per_slave
+    max_slaves = cfg.effective_max_slaves()
+    symmetric = sim.tree.symmetric
+    task_mode = sim._soa_task_mode
+    slave_select = sim.slave_selector.select
+    normalize_rows = normalize_row_distribution
+
+    # ---------------- geometry (hoisted plain-list mirrors) ---------------- #
+    tflops = geom.task_flops
+    tmem = geom.task_memory
+    g_front = geom.front_entries
+    g_factor = geom.factor_entries
+    g_cb = geom.cb_entries
+    g_master = geom.master_entries
+    g_asm = geom.assembly_flops
+    g_npiv = geom.npiv
+    g_nfront = geom.nfront
+    g_ntype = geom.node_type
+    g_owner = geom.owner
+    g_sub = geom.subtree_of
+    g_parent = geom.parent
+    g_children = geom.children
+    g_cands = geom.type2_candidates
+    speaks = [float(x) for x in geom.subtree_peaks]
+    from repro.mapping.layers import NodeType
+
+    T2 = int(NodeType.TYPE2)
+    T3 = int(NodeType.TYPE3)
+
+    # ---------------- processor state (list mirrors of SimState) ----------- #
+    stack = [0.0] * nprocs
+    factors = [0.0] * nprocs
+    peak = [0.0] * nprocs
+    peak_t = [0.0] * nprocs
+    observed = [0.0] * nprocs
+    load = [0.0] * nprocs
+    cur_sub = [-1] * nprocs
+    cur_speak = [0.0] * nprocs
+    last_m = [0.0] * nprocs
+    last_l = [0.0] * nprocs
+    last_p = [0.0] * nprocs
+    tdone = [0] * nprocs
+    current = [-1] * nprocs
+    pools = [[] for _ in range(nprocs)]
+    slaveq = [deque() for _ in range(nprocs)]
+    upcoming = [dict() for _ in range(nprocs)]
+    tb = [TraceBuffer() for _ in range(nprocs)] if tracing else None
+
+    # ---------------- node state ------------------------------------------ #
+    child_rem = list(geom.nchildren)
+    completed = [False] * nnodes
+    master_done = [False] * nnodes
+    slaves_pend = [0] * nnodes
+    activated = [False] * nnodes
+    root_pend = [0] * nnodes
+    cbp = [[] for _ in range(nnodes)]
+    finished = 0
+
+    # ---------------- task SoA columns (grow by append) -------------------- #
+    t_kind = []
+    t_node = []
+    t_proc = []
+    t_flops = []
+    t_mem = []
+    t_rows = []
+    t_sub = []
+    t_master = []
+    t_extra = []
+
+    # ---------------- views ------------------------------------------------ #
+    vec = views.vectorized
+    view_mem = [views.view(p).memory for p in range(nprocs)]
+    view_load = [views.view(p).load for p in range(nprocs)]
+    view_sub = [views.view(p).subtree_peak for p in range(nprocs)]
+    view_pred = [views.view(p).predicted_master for p in range(nprocs)]
+    kind_mats = views._kind_arrays if vec else None
+    apply_broadcast_kind = views.apply_broadcast_kind
+    apply_reservations = views.apply_reservations
+    kern_bc = getattr(kernels, "broadcast", None) if (kernels and vec) else None
+    kern_rv = getattr(kernels, "reservations", None) if (kernels and vec) else None
+    views_memory_mat = views.memory if vec else None
+
+    # Lazy view application (vectorized mode).  Broadcasts outnumber the
+    # points where the view matrices are actually *read* — a type-2 slave
+    # selection — by two orders of magnitude, so popped broadcast events are
+    # recorded here and only materialised by ``flush_views`` right before a
+    # selection (and once at end of run).  Column writes commute with
+    # everything except those reads, the masters' observer updates (which
+    # happen after the flush inside ``activate_t2``) and reservations, whose
+    # ordering against memory broadcasts ``mem_log`` preserves verbatim —
+    # so the flushed state is bit-identical to eager application at pop time.
+    lazy = vec
+    pend_cols = ({}, {}, {}, {})  # kind → {source: latest raw value}; [0] unused
+    mem_log = []  # kind-0 ops in pop order: (0, src, val) | (1, master, reservations)
+
+    # ---------------- event queues ----------------------------------------- #
+    # Two sources, one global (time, seq) order.  Events scheduled with the
+    # constant view-notification delay (broadcasts, reservations,
+    # child-completed relays) have non-decreasing timestamps and monotone
+    # sequence numbers, so a plain FIFO deque already holds them sorted —
+    # they skip the heap entirely and the pop site merges the two fronts.
+    heap = []
+    nq = deque()
+    seq = 0
+    now = 0.0
+
+    # ---------------- message counters ------------------------------------- #
+    c_mem = c_load = c_sub = c_pred = 0
+    c_cbt = c_stask = c_resv = c_sdone = c_child = c_root = 0
+    root_seen = False
+    n_sel = 0
+
+    # ------------------------------------------------------------------ #
+    # single-level closures (the object engines' 3-4 frame call chains
+    # collapse to one call over shared cells; float ops keep the reference
+    # engine's exact association)
+    # ------------------------------------------------------------------ #
+    def _alloc(q, e):
+        s2 = stack[q] + e
+        stack[q] = s2
+        if s2 > peak[q]:
+            peak[q] = s2
+            peak_t[q] = now
+        if tracing:
+            tb[q].append(now, s2, factors[q])
+
+    def _free(q, e):
+        s2 = stack[q] - e
+        stack[q] = s2
+        if s2 < -1e-6:
+            raise RuntimeError(
+                f"processor {q}: stack memory became negative ({s2:.1f} entries)"
+            )
+        if tracing:
+            tb[q].append(now, s2, factors[q])
+
+    def _add_factors(q, e):
+        f2 = factors[q] + e
+        factors[q] = f2
+        if tracing:
+            tb[q].append(now, stack[q], f2)
+
+    def mem_changed(q):
+        nonlocal seq, c_mem
+        s = stack[q]
+        if s > observed[q]:
+            observed[q] = s
+        if s != last_m[q]:
+            last_m[q] = s
+            if multi:
+                nq.append((now + notif, seq, EV_BROADCAST, 0, q, s))
+                seq += 1
+                c_mem += n1
+        view_mem[q][q] = s
+
+    def load_changed(q):
+        nonlocal seq, c_load
+        v = load[q]
+        if v != last_l[q]:
+            last_l[q] = v
+            if multi:
+                nq.append((now + notif, seq, EV_BROADCAST, 1, q, v))
+                seq += 1
+                c_load += n1
+        view_load[q][q] = 0.0 if v < 0.0 else v
+
+    def pred_changed(q):
+        nonlocal seq, c_pred
+        v = max(upcoming[q].values(), default=0.0)
+        if v != last_p[q]:
+            last_p[q] = v
+            if multi:
+                nq.append((now + notif, seq, EV_BROADCAST, 3, q, v))
+                seq += 1
+                c_pred += n1
+        view_pred[q][q] = 0.0 if v < 0.0 else v
+
+    def subtree_changed(q, v):
+        nonlocal seq, c_sub
+        cur_speak[q] = v
+        view_sub[q][q] = 0.0 if v < 0.0 else v
+        if multi:
+            nq.append((now + notif, seq, EV_BROADCAST, 2, q, v))
+            seq += 1
+            c_sub += n1
+
+    def complete_node(node):
+        nonlocal seq, finished, c_child
+        if completed[node]:
+            raise RuntimeError(f"node {node} completed twice")
+        completed[node] = True
+        finished += 1
+        par = g_parent[node]
+        if par < 0:
+            return
+        co = g_owner[node]
+        if co < 0:
+            co = 0
+        po = g_owner[par]
+        if po < 0:
+            po = 0  # type-3 root: bookkeeping held by processor 0
+        if co == po:
+            on_child_completed(par)
+        else:
+            nq.append((now + notif, seq, EV_CHILD_COMPLETED, par, 0, 0))
+            seq += 1
+            c_child += 1
+
+    def on_child_completed(par):
+        # Section 5.1: the owner of the parent now expects this master task
+        if g_sub[par] < 0 and g_ntype[par] != T3:
+            ow = g_owner[par]
+            up = upcoming[ow]
+            if par not in up and not activated[par]:
+                up[par] = tmem[par]
+                pred_changed(ow)
+        r = child_rem[par] - 1
+        child_rem[par] = r
+        if r == 0:
+            node_ready(par)
+
+    def node_ready(node):
+        if g_ntype[node] == T3:
+            root_ready(node)
+            return
+        ow = g_owner[node]
+        sub = g_sub[node]
+        tid = len(t_kind)
+        t_kind.append(K_TYPE2_MASTER if g_ntype[node] == T2 else K_TYPE1)
+        t_node.append(node)
+        t_proc.append(ow)
+        t_flops.append(tflops[node])
+        t_mem.append(tmem[node])
+        t_rows.append(0)
+        t_sub.append(sub)
+        t_master.append(-1)
+        t_extra.append(0.0)
+        pools[ow].append(tid)
+        # the workload-based scheduling counts a task as load when it enters the pool
+        if sub < 0:
+            load[ow] = load[ow] + tflops[node]
+            load_changed(ow)
+        try_start(ow)
+
+    def root_ready(node):
+        nonlocal seq, c_root, root_seen
+        # the 2-D distribution scatters the children CBs: free them where they live
+        for c in g_children[node]:
+            for cq, e in cbp[c]:
+                _free(cq, e)
+                mem_changed(cq)
+            cbp[c] = []
+        root_pend[node] = nprocs
+        shf = tflops[node] / nprocs
+        shm = g_front[node] / nprocs
+        for sq2 in range(nprocs):
+            tid = len(t_kind)
+            t_kind.append(K_ROOT_SHARE)
+            t_node.append(node)
+            t_proc.append(sq2)
+            t_flops.append(shf)
+            t_mem.append(shm)
+            t_rows.append(0)
+            t_sub.append(-1)
+            t_master.append(-1)
+            t_extra.append(0.0)
+            pools[sq2].append(tid)
+            load[sq2] = load[sq2] + shf
+            load_changed(sq2)
+            try_start(sq2)
+        c_root += n1
+        root_seen = True
+
+    def flush_views():
+        for kind in (1, 2, 3):
+            d = pend_cols[kind]
+            if d:
+                mat = kind_mats[kind]
+                if kern_bc is not None:
+                    for src, val in d.items():
+                        kern_bc(mat, src, val, True)
+                else:
+                    for src, val in d.items():
+                        if val < 0.0:
+                            val = 0.0
+                        col = mat[:, src]
+                        keep = col[src]
+                        col[:] = val
+                        col[src] = keep
+                d.clear()
+        if mem_log:
+            mat = kind_mats[0]
+            buf = {}
+            for op in mem_log:
+                if op[0] == 0:
+                    buf[op[1]] = op[2]
+                    continue
+                if buf:
+                    if kern_bc is not None:
+                        for src, val in buf.items():
+                            kern_bc(mat, src, val, False)
+                    else:
+                        for src, val in buf.items():
+                            col = mat[:, src]
+                            keep = col[src]
+                            col[:] = val
+                            col[src] = keep
+                    buf.clear()
+                if kern_rv is not None:
+                    rlist = op[2]
+                    kern_rv(
+                        views_memory_mat,
+                        op[1],
+                        np.array([r[0] for r in rlist], dtype=np.int64),
+                        np.array([r[1] for r in rlist], dtype=np.float64),
+                    )
+                else:
+                    apply_reservations(op[1], op[2])
+            if buf:
+                if kern_bc is not None:
+                    for src, val in buf.items():
+                        kern_bc(mat, src, val, False)
+                else:
+                    for src, val in buf.items():
+                        col = mat[:, src]
+                        keep = col[src]
+                        col[:] = val
+                        col[src] = keep
+            mem_log.clear()
+
+    def activate_t2(tid, q, node):
+        nonlocal seq, c_cbt, c_stask, c_resv, n_sel
+        if lazy:
+            flush_views()
+        sub = t_sub[tid]
+        if sub >= 0:
+            if cur_sub[q] != sub:
+                cur_sub[q] = sub
+                subtree_changed(q, speaks[sub])
+        else:
+            up = upcoming[q]
+            if node in up:
+                del up[node]
+                pred_changed(q)
+        activated[node] = True
+        # release the children CBs where they live; the master (observer)
+        # updates its own view of the releasing processors immediately
+        vm_q = view_mem[q]
+        total = 0.0
+        comm = 0.0
+        for c in g_children[node]:
+            for cq, e in cbp[c]:
+                total += e
+                _free(cq, e)
+                mem_changed(cq)
+                if cq != q:
+                    x = vm_q[cq] - e
+                    vm_q[cq] = 0.0 if x < 0.0 else x
+                tt = lat + e / bw
+                if tt > comm:
+                    comm = tt
+                c_cbt += 1
+            cbp[c] = []
+        npv = g_npiv[node]
+        nfr = g_nfront[node]
+        nfr_f = float(nfr if nfr > 1 else 1)
+        # the master's assembly share: the rows of the children CBs that land
+        # in the fully summed part of the front
+        masm = total * float(npv) / nfr_f
+        t_extra[tid] = masm
+        _alloc(q, g_master[node] + masm)
+        mem_changed(q)
+
+        # ------------------- dynamic slave selection ------------------- #
+        ncb = nfr - npv
+        cands = g_cands[node]
+        ctx = SlaveSelectionContext(
+            master_proc=q,
+            node=node,
+            npiv=npv,
+            nfront=nfr,
+            ncb=ncb,
+            symmetric=symmetric,
+            candidates=cands,
+            memory_view=vm_q.copy(),
+            effective_memory_view=vm_q + (view_sub[q] + view_pred[q]),
+            load_view=view_load[q].copy(),
+            own_load=load[q],
+            own_memory=stack[q],
+            min_rows_per_slave=min_rows,
+            max_slaves=max_slaves,
+        )
+        assignment = normalize_rows(slave_select(ctx), ncb, cands)
+        n_sel += 1
+        slaves_pend[node] = len(assignment)
+        desc_delay = lat + float(npv * 2) / bw  # task descriptor, small
+        if assignment:
+            t_arrive = now + desc_delay
+            reservations = []
+            for sq2, rows in assignment:
+                block = float(type2_slave_block_entries(npv, nfr, rows, symmetric))
+                fl = type2_slave_flops(npv, nfr, rows, symmetric)
+                # the slave's share of the children CB rows to assemble
+                sasm = total * float(rows) / nfr_f
+                stid = len(t_kind)
+                t_kind.append(K_TYPE2_SLAVE)
+                t_node.append(node)
+                t_proc.append(sq2)
+                t_flops.append(fl)
+                t_mem.append(block)
+                t_rows.append(rows)
+                t_sub.append(-1)
+                t_master.append(q)
+                t_extra.append(sasm)
+                heappush(heap, (t_arrive, seq, EV_SLAVE_TASK, sq2, stid, 0))
+                seq += 1
+                c_stask += 1
+                # the master immediately accounts for its own decision
+                x = vm_q[sq2] + block
+                vm_q[sq2] = 0.0 if x < 0.0 else x
+                reservations.append((sq2, block))
+            if multi:
+                nq.append((now + notif, seq, EV_RESERVATION, q, reservations, 0))
+                seq += 1
+                c_resv += n1
+        return comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+
+    def activate(tid, q):
+        nonlocal seq, c_cbt
+        current[q] = tid
+        k = t_kind[tid]
+        node = t_node[tid]
+        if k == K_TYPE1:
+            sub = t_sub[tid]
+            if sub >= 0:
+                if cur_sub[q] != sub:
+                    cur_sub[q] = sub
+                    subtree_changed(q, speaks[sub])
+            else:
+                up = upcoming[q]
+                if node in up:
+                    del up[node]
+                    pred_changed(q)
+            activated[node] = True
+            # pull the children CB pieces onto the owner
+            comm = 0.0
+            moved = 0.0
+            for c in g_children[node]:
+                for cq, e in cbp[c]:
+                    if cq != q:
+                        _free(cq, e)
+                        mem_changed(cq)
+                        _alloc(q, e)
+                        moved += e
+                        tt = lat + e / bw
+                        if tt > comm:
+                            comm = tt
+                        c_cbt += 1
+            if moved > 0:
+                mem_changed(q)
+            _alloc(q, g_front[node])
+            mem_changed(q)
+            duration = comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+        elif k == K_TYPE2_MASTER:
+            duration = activate_t2(tid, q, node)
+        elif k == K_TYPE2_SLAVE:
+            duration = t_flops[tid] / flop_rate
+        else:  # K_ROOT_SHARE
+            _alloc(q, t_mem[tid])
+            mem_changed(q)
+            duration = t_flops[tid] / flop_rate
+        heappush(heap, (now + duration, seq, EV_TASK_DONE, q, tid, 0))
+        seq += 1
+
+    def try_start(q):
+        if current[q] != -1:
+            return
+        sq = slaveq[q]
+        if sq:
+            activate(sq.popleft(), q)
+            return
+        pl = pools[q]
+        if not pl:
+            return
+        if task_mode == TASK_MODE_LIFO:
+            i = len(pl) - 1
+        elif task_mode == TASK_MODE_FIFO:
+            i = 0
+        else:  # Algorithm 2, inlined over the live pool of task ids
+            top = len(pl) - 1
+            cs = cur_sub[q]
+            if cs >= 0 and t_sub[pl[top]] == cs:
+                i = top
+            else:
+                cur = stack[q] + (cur_speak[q] if cs >= 0 else 0.0)
+                obs = observed[q]
+                i = top
+                for j in range(top, -1, -1):
+                    tid = pl[j]
+                    if t_mem[tid] + cur <= obs:
+                        i = j
+                        break
+                    if t_sub[tid] >= 0:
+                        i = j
+                        break
+        activate(pl.pop(i), q)
+
+    # ------------------------------------------------------------------ #
+    # setup (same order of operations as FactorizationSimulator._setup)
+    # ------------------------------------------------------------------ #
+    il = geom.initial_load
+    base_load = np.empty(nprocs, dtype=np.float64)
+    for q in range(nprocs):
+        v = float(il[q])
+        load[q] = v
+        # everyone starts with the same (exact) static knowledge of the loads
+        base_load[q] = 0.0 if v < 0.0 else v
+    for p in range(nprocs):
+        view_load[p][:] = base_load
+
+    # initial pools: the leaves, deepest-first subtree by subtree
+    for p in range(nprocs):
+        for node in reversed(geom.pool_orders[p]):
+            tid = len(t_kind)
+            t_kind.append(K_TYPE2_MASTER if g_ntype[node] == T2 else K_TYPE1)
+            t_node.append(node)
+            t_proc.append(p)
+            t_flops.append(tflops[node])
+            t_mem.append(tmem[node])
+            t_rows.append(0)
+            t_sub.append(g_sub[node])
+            t_master.append(-1)
+            t_extra.append(0.0)
+            pools[p].append(tid)
+
+    # a single-node tree (or type-3 leaves) must still start somewhere
+    for i in geom.tree_leaves:
+        if g_ntype[i] == T3:
+            root_ready(i)
+
+    for p in range(nprocs):
+        heappush(heap, (0.0, seq, EV_KICK, p, 0, 0))
+        seq += 1
+
+    # ------------------------------------------------------------------ #
+    # the event loop (two ordered fronts merged by (time, seq) — tuple
+    # comparison never reaches the payload because seq is unique)
+    # ------------------------------------------------------------------ #
+    while True:
+        if heap:
+            if nq and nq[0] < heap[0]:
+                ev = nq.popleft()
+            else:
+                ev = heappop(heap)
+        elif nq:
+            ev = nq.popleft()
+        else:
+            break
+        now = ev[0]
+        tag = ev[2]
+        if tag == EV_BROADCAST:
+            kind = ev[3]
+            src = ev[4]
+            val = ev[5]
+            if lazy:
+                # pending state is inherently last-writer-wins per source, so
+                # no same-timestamp coalescing pass is needed here
+                if kind == 0:
+                    if mem_log and mem_log[-1][0] == 0 and mem_log[-1][1] == src:
+                        mem_log[-1] = (0, src, val)
+                    else:
+                        mem_log.append((0, src, val))
+                else:
+                    pend_cols[kind][src] = val
+            else:
+                # zero-latency coalescing: a storm of same-kind same-source
+                # broadcasts at one timestamp collapses to its last value —
+                # only while the matching broadcast is globally next
+                while nq:
+                    nxt = nq[0]
+                    if nxt[0] != now or nxt[2] != EV_BROADCAST or nxt[3] != kind or nxt[4] != src:
+                        break
+                    if heap and heap[0] < nxt:
+                        break
+                    val = nxt[5]
+                    nq.popleft()
+                apply_broadcast_kind(kind, src, val)
+        elif tag == EV_TASK_DONE:
+            q = ev[3]
+            tid = ev[4]
+            current[q] = -1
+            tdone[q] += 1
+            k = t_kind[tid]
+            node = t_node[tid]
+            if k == K_TYPE1:
+                # the children CB pieces all sit on the owner by now
+                total = 0.0
+                for c in g_children[node]:
+                    lst = cbp[c]
+                    if lst:
+                        ssum = 0.0
+                        for _cq, e in lst:
+                            ssum += e
+                        total += ssum
+                        cbp[c] = []
+                if total > 0:
+                    _free(q, total)
+                    mem_changed(q)
+                _free(q, g_front[node])
+                _add_factors(q, g_factor[node])
+                cbv = g_cb[node]
+                if cbv > 0:
+                    _alloc(q, cbv)
+                    cbp[node] = [(q, cbv)]
+                mem_changed(q)
+                l = load[q] - t_flops[tid]
+                load[q] = 0.0 if l < 0.0 else l
+                load_changed(q)
+                sub = t_sub[tid]
+                if sub >= 0 and node == sub:
+                    cur_sub[q] = -1
+                    subtree_changed(q, 0.0)
+                complete_node(node)
+            elif k == K_TYPE2_MASTER:
+                me = g_master[node]
+                _free(q, me + t_extra[tid])
+                _add_factors(q, me)
+                mem_changed(q)
+                l = load[q] - t_flops[tid]
+                load[q] = 0.0 if l < 0.0 else l
+                load_changed(q)
+                master_done[node] = True
+                if slaves_pend[node] == 0:
+                    complete_node(node)
+            elif k == K_TYPE2_SLAVE:
+                fp = float(type2_slave_factor_entries(
+                    g_npiv[node], g_nfront[node], t_rows[tid], symmetric
+                ))
+                cb_part = t_mem[tid] - fp
+                if cb_part < 0.0:
+                    cb_part = 0.0
+                _free(q, fp + t_extra[tid])
+                _add_factors(q, fp)
+                mem_changed(q)
+                l = load[q] - t_flops[tid]
+                load[q] = 0.0 if l < 0.0 else l
+                load_changed(q)
+                if cb_part > 0:
+                    cbp[node].append((q, cb_part))
+                slaves_pend[node] -= 1
+                c_sdone += 1
+                if slaves_pend[node] == 0 and master_done[node]:
+                    complete_node(node)
+            else:  # K_ROOT_SHARE
+                _free(q, t_mem[tid])
+                _add_factors(q, g_factor[node] / nprocs)
+                mem_changed(q)
+                l = load[q] - t_flops[tid]
+                load[q] = 0.0 if l < 0.0 else l
+                load_changed(q)
+                rp = root_pend[node] - 1
+                root_pend[node] = rp
+                if rp == 0:
+                    # root CB (normally empty) stays on processor 0 by convention
+                    cbv = g_cb[node]
+                    if cbv > 0:
+                        _alloc(0, cbv)
+                        mem_changed(0)
+                        cbp[node] = [(0, cbv)]
+                    complete_node(node)
+            try_start(q)
+        elif tag == EV_SLAVE_TASK:
+            dq = ev[3]
+            tid = ev[4]
+            # the slave block (plus its assembly share) is charged upon
+            # reception (Section 3: slave tasks activate as soon as received)
+            _alloc(dq, t_mem[tid] + t_extra[tid])
+            mem_changed(dq)
+            load[dq] = load[dq] + t_flops[tid]
+            load_changed(dq)
+            slaveq[dq].append(tid)
+            try_start(dq)
+        elif tag == EV_CHILD_COMPLETED:
+            on_child_completed(ev[3])
+        elif tag == EV_RESERVATION:
+            if lazy:
+                mem_log.append((1, ev[3], ev[4]))
+            else:
+                apply_reservations(ev[3], ev[4])
+        else:  # EV_KICK
+            try_start(ev[3])
+
+    # ------------------------------------------------------------------ #
+    # finalize: write the list mirrors back into the canonical SimState
+    # ------------------------------------------------------------------ #
+    if finished != nnodes:
+        unfinished = [i for i in range(nnodes) if not completed[i]]
+        raise RuntimeError(
+            f"simulation deadlocked: {len(unfinished)} nodes never completed "
+            f"(first few: {unfinished[:5]})"
+        )
+    if lazy:
+        flush_views()  # leave sim.views in the same state the eager engines do
+
+    state = SimState(nprocs)
+    state.ntasks = len(t_kind)
+    state.stack = np.array(stack, dtype=np.float64)
+    state.factors = np.array(factors, dtype=np.float64)
+    state.peak_stack = np.array(peak, dtype=np.float64)
+    state.peak_time = np.array(peak_t, dtype=np.float64)
+    state.load_remaining = np.array(load, dtype=np.float64)
+    state.observed_peak = np.array(observed, dtype=np.float64)
+    state.tasks_done = np.array(tdone, dtype=np.int64)
+    state.current_subtree = np.array(cur_sub, dtype=np.int64)
+    state.task_kind = np.array(t_kind, dtype=np.int8)
+    state.task_node = np.array(t_node, dtype=np.int64)
+    state.task_proc = np.array(t_proc, dtype=np.int64)
+    state.task_flops = np.array(t_flops, dtype=np.float64)
+    state.task_memory = np.array(t_mem, dtype=np.float64)
+    state.task_rows = np.array(t_rows, dtype=np.int64)
+    state.task_subtree = np.array(t_sub, dtype=np.int64)
+    state.task_master = np.array(t_master, dtype=np.int64)
+    state.task_extra = np.array(t_extra, dtype=np.float64)
+    sim.state = state
+
+    message_counts = {}
+    for name, count in (
+        ("memory", c_mem),
+        ("load", c_load),
+        ("subtree", c_sub),
+        ("prediction", c_pred),
+        ("cb_transfer", c_cbt),
+        ("slave_task", c_stask),
+        ("reservation", c_resv),
+        ("slave_done", c_sdone),
+        ("child_completed", c_child),
+    ):
+        if count:
+            message_counts[name] = count
+    if root_seen:
+        # the reference engine touches this key even at nprocs == 1 (+= 0)
+        message_counts["root_ready"] = c_root
+    sim.message_counts = message_counts
+    sim.slave_selections = n_sel
+    sim.queue._now = now
+    sim._finished_nodes = finished
+
+    from repro.runtime.simulator import SimulationResult
+
+    trace = SimulationTrace.from_buffers(tb) if tracing else None
+    return SimulationResult(
+        nprocs=nprocs,
+        per_proc_peak_stack=state.peak_stack.copy(),
+        per_proc_factor_entries=state.factors.copy(),
+        per_proc_tasks=state.tasks_done.astype(np.float64),
+        total_time=now,
+        message_counts=dict(message_counts),
+        slave_selections=n_sel,
+        nodes=nnodes,
+        total_factor_entries=float(state.factors.sum()),
+        trace=trace,
+        strategy_name=sim.strategy_name,
+    )

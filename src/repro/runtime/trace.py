@@ -1,9 +1,13 @@
 """Simulation traces: per-processor memory evolution over simulated time.
 
 Used by the figure benchmarks (memory evolution plots of the kind that
-motivate Figures 4, 6 and 8) and by the examples.  The trace is built from
-the per-processor :class:`~repro.runtime.memory_state.ProcessorMemory`
-histories after the run.
+motivate Figures 4, 6 and 8) and by the examples.  Trace points are recorded
+into :class:`TraceBuffer` s — preallocated numpy columns grown by doubling —
+so tracing costs three array stores per memory event instead of three Python
+list appends, and the post-run trace arrays are zero-copy views of the
+buffers.  The trace is built from the per-processor
+:class:`~repro.runtime.memory_state.ProcessorMemory` histories (object
+engines) or directly from the SoA engine's buffers after the run.
 """
 
 from __future__ import annotations
@@ -12,7 +16,49 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SimulationTrace"]
+__all__ = ["SimulationTrace", "TraceBuffer"]
+
+
+class TraceBuffer:
+    """Append-only (time, stack, factors) history in one growable array.
+
+    The storage is a ``(3, capacity)`` float64 block; an append is three
+    scalar stores and the capacity doubles when full, so recording a trace
+    point never allocates per event.  The ``times``/``stack``/``factors``
+    properties are zero-copy views trimmed to the recorded length.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._data = np.empty((3, max(int(capacity), 1)), dtype=np.float64)
+        self._size = 0
+
+    def append(self, time: float, stack: float, factors: float) -> None:
+        n = self._size
+        data = self._data
+        if n == data.shape[1]:
+            data = np.concatenate((data, np.empty_like(data)), axis=1)
+            self._data = data
+        data[0, n] = time
+        data[1, n] = stack
+        data[2, n] = factors
+        self._size = n + 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._data[0, : self._size]
+
+    @property
+    def stack(self) -> np.ndarray:
+        return self._data[1, : self._size]
+
+    @property
+    def factors(self) -> np.ndarray:
+        return self._data[2, : self._size]
 
 
 @dataclass
@@ -29,6 +75,15 @@ class SimulationTrace:
             times=[np.asarray(p.memory.trace_times, dtype=np.float64) for p in processors],
             stack=[np.asarray(p.memory.trace_stack, dtype=np.float64) for p in processors],
             factors=[np.asarray(p.memory.trace_factors, dtype=np.float64) for p in processors],
+        )
+
+    @classmethod
+    def from_buffers(cls, buffers: list[TraceBuffer]) -> "SimulationTrace":
+        """Build a trace straight from the SoA engine's per-processor buffers."""
+        return cls(
+            times=[b.times for b in buffers],
+            stack=[b.stack for b in buffers],
+            factors=[b.factors for b in buffers],
         )
 
     @property

@@ -147,15 +147,29 @@ class Session:
         """Run one declarative case (a :class:`CaseSpec` or its dict form)."""
         return self.engine.run_case(_as_spec(case))
 
-    def run_cases(self, cases: Sequence[CaseLike], *, jobs: int | None = None) -> list[CaseResult]:
+    def run_cases(
+        self,
+        cases: Sequence[CaseLike],
+        *,
+        jobs: int | None = None,
+        batch: bool = False,
+    ) -> list[CaseResult]:
         """Run explicit cases (serially or across a process pool, see ``jobs``).
 
         Runs at the session's own job count share one long-lived executor, so
         consecutive sweeps reuse the same worker processes and the artifacts
         they hold; an explicit ``jobs`` override gets a transient executor
         that is torn down afterwards.
+
+        ``batch=True`` instead runs everything serially in-process, grouping
+        cases that share an analysis so they reuse one precomputed scheduling
+        geometry and view bank (:meth:`AnalysisPipeline.run_cases_batched`) —
+        the fastest path for strategy sweeps over few analyses.  ``jobs`` is
+        ignored in batch mode.
         """
         specs = [_as_spec(case) for case in cases]
+        if batch:
+            return self.engine.run_cases_batched(specs)
         jobs = self.jobs if jobs is None else int(jobs)
         if jobs == self.jobs:
             if self._executor is None:
@@ -169,6 +183,7 @@ class Session:
         spec: SweepSpec | Mapping[str, object] | None = None,
         *,
         jobs: int | None = None,
+        batch: bool = False,
         **axes,
     ) -> list[CaseResult]:
         """Run a declarative grid and return its results in grid order.
@@ -181,7 +196,10 @@ class Session:
 
         Results come back in grid order (problem-major, see
         :meth:`SweepSpec.expand`) whatever the execution order was, so the
-        parallel path is a drop-in for the serial one.
+        parallel path is a drop-in for the serial one.  ``batch=True`` runs
+        the grid in-process with per-analysis batching (see
+        :meth:`run_cases`) — usually the fastest option when the grid sweeps
+        many strategies over few problems.
         """
         if spec is None:
             sweep_spec = SweepSpec(**axes)
@@ -189,7 +207,7 @@ class Session:
             if axes:
                 raise TypeError("pass either a SweepSpec/dict or keyword axes, not both")
             sweep_spec = spec if isinstance(spec, SweepSpec) else SweepSpec.from_dict(spec)
-        return self.run_cases(sweep_spec.expand(), jobs=jobs)
+        return self.run_cases(sweep_spec.expand(), jobs=jobs, batch=batch)
 
     def compare(
         self,

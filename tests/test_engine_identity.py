@@ -1,16 +1,20 @@
-"""The fast event engine must be an exact drop-in for the reference engine.
+"""Every optimized event engine must be an exact drop-in for the reference.
 
-PR 5 rewrote the simulator hot path: flat-tuple events with integer tags and
-a dispatch table, zero-latency broadcast coalescing, precomputed per-node
-geometry and inlined task selection.  The historical event core stays
-reachable as ``engine="reference"`` (or ``REPRO_SIM_ENGINE=reference``), and
-this suite pins the two engines *bit-identical* — every field of
+PR 5 rewrote the simulator hot path (flat-tuple events, dispatch table,
+broadcast coalescing, inlined task selection → ``flat``); PR 6 added the
+structure-of-arrays engines (``soa`` and its numba-kernel twin ``jit``) and
+the batched sweep path.  The historical event core stays reachable as
+``engine="reference"`` (or ``REPRO_SIM_ENGINE=reference``), and this suite
+pins every other engine *bit-identical* to it — every field of
 :class:`SimulationResult`, including ``message_counts`` and
 ``slave_selections``, over a randomized scenario matrix of tree shapes ×
-strategies × processor counts × latency configurations.
+strategies × processor counts × latency configurations.  ``jit`` runs here
+whether or not numba is installed: without it the engine must degrade to the
+pure-Python SoA loop with unchanged results.
 
-The slave selectors' vectorized paths are pinned to their scalar references
-the same way, over randomized selection contexts.
+The batched path (one shared geometry + view bank for many runs) is pinned
+to the one-simulator-per-run path, and the slave selectors' vectorized paths
+to their scalar references, the same way.
 """
 
 from __future__ import annotations
@@ -20,9 +24,11 @@ import pytest
 
 from repro.mapping import compute_mapping
 from repro.runtime import (
+    BatchScenario,
     FactorizationSimulator,
     SimulationConfig,
     resolve_engine,
+    run_batch,
 )
 from repro.scheduling import get_strategy
 from repro.scheduling.base import SlaveSelectionContext
@@ -112,13 +118,18 @@ def assert_identical(fast, ref, *, traces: bool = False) -> None:
             np.testing.assert_array_equal(fast.trace.factors[p], ref.trace.factors[p])
 
 
-class TestEngineIdentityFuzz:
-    """Randomized scenario matrix: fast engine ≡ reference engine, bitwise."""
+#: engines pinned against "reference" by the fuzz matrix
+OPTIMIZED_ENGINES = ("flat", "soa", "jit")
 
+
+class TestEngineIdentityFuzz:
+    """Randomized scenario matrix: every engine ≡ reference engine, bitwise."""
+
+    @pytest.mark.parametrize("engine", OPTIMIZED_ENGINES)
     @pytest.mark.parametrize(
         "seed,nprocs,strategy,latency,mem_latency,traces", SCENARIOS
     )
-    def test_random_scenarios(self, seed, nprocs, strategy, latency, mem_latency, traces):
+    def test_random_scenarios(self, seed, nprocs, strategy, latency, mem_latency, traces, engine):
         tree = random_tree(seed)
         config = SimulationConfig(
             nprocs=nprocs,
@@ -137,20 +148,115 @@ class TestEngineIdentityFuzz:
             type2_cb_threshold=config.type2_cb_threshold,
             type3_front_threshold=config.type3_front_threshold,
         )
-        fast = run_engine(tree, config, mapping, strategy, "fast")
+        opt = run_engine(tree, config, mapping, strategy, engine)
         ref = run_engine(tree, config, mapping, strategy, "reference")
-        assert_identical(fast, ref, traces=traces)
+        assert_identical(opt, ref, traces=traces)
 
+    @pytest.mark.parametrize("engine", OPTIMIZED_ENGINES)
     @pytest.mark.parametrize("strategy", STRATEGIES)
-    def test_matrix_built_tree(self, strategy):
-        """One realistic tree (pattern → analysis) per strategy, both engines."""
+    def test_matrix_built_tree(self, strategy, engine):
+        """One realistic tree (pattern → analysis) per strategy, all engines."""
         pattern = grid_2d(14, 14)
         tree = build_assembly_tree(pattern, None, keep_variables=False)
         config = SimulationConfig.paper(nprocs=4, type2_front_threshold=40, type2_cb_threshold=8)
         mapping = compute_mapping(tree, 4, **config.mapping_params())
-        fast = run_engine(tree, config, mapping, strategy, "fast")
+        opt = run_engine(tree, config, mapping, strategy, engine)
         ref = run_engine(tree, config, mapping, strategy, "reference")
-        assert_identical(fast, ref)
+        assert_identical(opt, ref)
+
+    def test_single_processor(self):
+        """nprocs=1 degenerate runs (no broadcasts, root split of one share)."""
+        tree = random_tree(4)
+        config = SimulationConfig(nprocs=1, track_traces=True)
+        mapping = compute_mapping(tree, 1)
+        ref = run_engine(tree, config, mapping, "memory-full", "reference")
+        for engine in OPTIMIZED_ENGINES:
+            assert_identical(
+                run_engine(tree, config, mapping, "memory-full", engine), ref, traces=True
+            )
+
+    def test_custom_task_selector_falls_back(self):
+        """A custom task selector keeps its contract on the SoA engines."""
+        from repro.scheduling.task_selection import LifoTaskSelector
+
+        class AlwaysOldest(LifoTaskSelector):  # subclass ⇒ not inlined
+            def select(self, ctx):
+                return 0
+
+        tree = random_tree(5)
+        config = SimulationConfig(nprocs=4)
+        mapping = compute_mapping(tree, 4)
+        slave, _ = get_strategy("memory-full").build()
+
+        def run(engine):
+            return FactorizationSimulator(
+                tree, config=config, mapping=mapping, slave_selector=slave,
+                task_selector=AlwaysOldest(), engine=engine,
+            ).run()
+
+        ref = run("reference")
+        for engine in OPTIMIZED_ENGINES:
+            assert_identical(run(engine), ref)
+
+
+class TestBatchIdentity:
+    """run_batch (shared geometry + view bank) ≡ one simulator per run."""
+
+    def test_batch_matches_single_runs(self):
+        tree = random_tree(6)
+        config = SimulationConfig(nprocs=8, track_traces=False)
+        mapping = compute_mapping(tree, 8)
+        strategies = ["mumps-workload", "memory-full", "hybrid", "memory-task"]
+
+        singles = [run_engine(tree, config, mapping, s, "soa") for s in strategies]
+
+        scenarios = []
+        for s in strategies:
+            slave, task = get_strategy(s).build()
+            scenarios.append(
+                BatchScenario(slave_selector=slave, task_selector=task, strategy_name=s)
+            )
+        batched = run_batch(tree, scenarios, config=config, mapping=mapping)
+        for single, batch in zip(singles, batched):
+            assert_identical(batch, single)
+
+    def test_batch_with_traced_scenario(self):
+        """A per-scenario config override (traces on one run) stays isolated."""
+        tree = random_tree(7)
+        config = SimulationConfig(nprocs=4)
+        mapping = compute_mapping(tree, 4)
+        slave1, task1 = get_strategy("memory-full").build()
+        slave2, task2 = get_strategy("memory-full").build()
+        traced_cfg = config.replace(track_traces=True)
+        batched = run_batch(
+            tree,
+            [
+                BatchScenario(slave_selector=slave1, task_selector=task1,
+                              strategy_name="a", config=traced_cfg),
+                BatchScenario(slave_selector=slave2, task_selector=task2,
+                              strategy_name="b"),
+            ],
+            config=config,
+            mapping=mapping,
+        )
+        ref = run_engine(tree, traced_cfg, mapping, "memory-full", "reference")
+        assert_identical(batched[0], ref, traces=True)
+        assert batched[0].trace is not None
+        assert batched[1].trace is None
+
+    def test_pipeline_batched_matches_run_case(self):
+        """Session.sweep(batch=True) ≡ the per-case pipeline path."""
+        from repro.session import Session
+
+        strategies = ["mumps-workload", "memory-full"]
+        with Session(nprocs=4, scale=0.2, cache_dir="") as session:
+            single = session.sweep(problems=["XENON2"], strategies=strategies)
+            batched = session.sweep(problems=["XENON2"], strategies=strategies, batch=True)
+        for a, b in zip(single, batched):
+            assert a.max_peak_stack == b.max_peak_stack
+            assert a.total_time == b.total_time
+            assert a.messages == b.messages
+            np.testing.assert_array_equal(a.per_proc_peak_stack, b.per_proc_peak_stack)
 
 
 class TestEngineSelection:
@@ -165,17 +271,28 @@ class TestEngineSelection:
         )
         assert sim.engine == "reference"
 
-    def test_default_is_fast(self, monkeypatch):
+    def test_default_is_soa(self, monkeypatch):
         monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
-        assert resolve_engine() == "fast"
+        assert resolve_engine() == "soa"
 
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
-        assert resolve_engine("fast") == "fast"
+        assert resolve_engine("soa") == "soa"
+
+    def test_fast_alias_maps_to_flat(self):
+        # "fast" was the PR 5 name of the flat-tuple engine; keep it working
+        assert resolve_engine("fast") == "flat"
+        assert resolve_engine("FLAT") == "flat"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown simulator engine"):
             resolve_engine("warp")
+
+    def test_typo_gets_did_you_mean_hint(self):
+        with pytest.raises(ValueError, match="did you mean 'soa'"):
+            resolve_engine("sao")
+        with pytest.raises(ValueError, match="did you mean 'reference'"):
+            resolve_engine("referance")
 
 
 # --------------------------------------------------------------------------- #

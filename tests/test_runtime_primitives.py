@@ -13,6 +13,7 @@ from repro.runtime import (
     TaskKind,
 )
 from repro.runtime.processor import ProcessorState
+from repro.runtime.trace import SimulationTrace, TraceBuffer
 
 
 class TestEventQueue:
@@ -119,6 +120,43 @@ class TestProcessorMemory:
             mem.allocate_stack(-1, 0.0)
         with pytest.raises(ValueError):
             mem.free_stack(-1, 0.0)
+
+
+class TestTraceBuffer:
+    def test_append_and_views(self):
+        buf = TraceBuffer(capacity=4)
+        buf.append(0.0, 10.0, 0.0)
+        buf.append(1.5, 4.0, 6.0)
+        assert len(buf) == 2
+        np.testing.assert_array_equal(buf.times, [0.0, 1.5])
+        np.testing.assert_array_equal(buf.stack, [10.0, 4.0])
+        np.testing.assert_array_equal(buf.factors, [0.0, 6.0])
+
+    def test_grows_past_initial_capacity(self):
+        buf = TraceBuffer(capacity=2)
+        for i in range(100):
+            buf.append(float(i), float(i % 7), float(i))
+        assert len(buf) == 100
+        np.testing.assert_array_equal(buf.times, np.arange(100.0))
+        assert buf.times[-1] == 99.0
+        assert buf.stack[13] == 13 % 7
+
+    def test_views_are_zero_copy(self):
+        buf = TraceBuffer(capacity=8)
+        buf.append(0.0, 1.0, 2.0)
+        assert buf.times.base is buf._data
+        assert buf.stack.base is buf._data
+
+    def test_from_buffers(self):
+        bufs = [TraceBuffer(capacity=2) for _ in range(2)]
+        bufs[0].append(0.0, 5.0, 0.0)
+        bufs[0].append(2.0, 0.0, 5.0)
+        trace = SimulationTrace.from_buffers(bufs)
+        assert trace.nprocs == 2
+        assert trace.peak_stack(0) == 5.0
+        assert trace.peak_stack(1) == 0.0
+        np.testing.assert_array_equal(trace.times[0], [0.0, 2.0])
+        assert trace.times[1].size == 0
 
 
 class TestSystemView:
