@@ -24,6 +24,10 @@ Suites:
 ``components``
     Micro-benchmarks of the substrate (orderings, symbolic analysis,
     sequential memory analysis, one parallel simulation).
+``serving``
+    The service layer's query path over a real loopback socket: one cold
+    query (cache cleared, pipeline executes) vs. one cached query (served
+    from the shared result cache) vs. one submit→poll job round-trip.
 """
 
 from __future__ import annotations
@@ -349,3 +353,92 @@ def _components_suite(env: BenchEnv) -> SuiteInstance:
         for name, fn in work
     ]
     return SuiteInstance(name="components", cases=cases)
+
+
+# --------------------------------------------------------------------------- #
+# serving: the service layer's query path (cold vs cached) over a real socket
+# --------------------------------------------------------------------------- #
+#: the case every serving benchmark queries (must stay cheap at CI scale).
+SERVING_QUERY = {"problem": "XENON2", "ordering": "metis", "strategy": "memory-full"}
+
+#: the tiny sweep of the submit round-trip case (one analysis, two strategies).
+SERVING_JOB_SWEEP = {
+    "problems": ["XENON2"],
+    "orderings": ["metis"],
+    "strategies": ["mumps-workload", "memory-full"],
+}
+
+
+@SUITES.register(
+    "serving",
+    description="HTTP query-path latency over the sweep service: cold, cached, job round-trip",
+)
+def _serving_suite(env: BenchEnv) -> SuiteInstance:
+    import tempfile
+
+    from repro.service import ServiceClient, SweepService, make_server
+
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-serving-")
+    service = SweepService(
+        data_dir=tmpdir.name, nprocs=env.nprocs, scale=env.scale, journal_fsync=False
+    )
+    service.start()
+    server = make_server(service, quiet=True)
+    server.serve_background()
+    client = ServiceClient(f"http://127.0.0.1:{server.port}")
+
+    def query_cold() -> dict[str, float]:
+        # every repeat re-executes the simulation stage behind the HTTP hop
+        # (the analysis artifacts stay memoized in the engine's memory tier,
+        # as they would in a long-lived daemon)
+        service.cache.clear()
+        response = client.results(**SERVING_QUERY)
+        return {"cached": float(response.cached), "bytes": float(len(response.body))}
+
+    def query_cached() -> dict[str, float]:
+        response = client.results(**SERVING_QUERY)
+        return {"cached": float(response.cached), "bytes": float(len(response.body))}
+
+    def submit_roundtrip() -> dict[str, float]:
+        record = client.submit({"sweep": SERVING_JOB_SWEEP})
+        final = client.wait(str(record["id"]), timeout=600.0, poll=0.02)
+        return {
+            "cases": float(final["total"]),
+            "failed": float(final["state"] != "done"),
+        }
+
+    def prepared(name: str, fn, *, repeats: int, warmup: int) -> PreparedCase:
+        return PreparedCase(
+            case=BenchCase(
+                name=name,
+                suite="serving",
+                params=(
+                    ("problem", SERVING_QUERY["problem"]),
+                    ("nprocs", env.nprocs),
+                    ("scale", env.scale),
+                ),
+            ),
+            fn=fn,
+            repeats=repeats,
+            warmup=warmup,
+        )
+
+    # warm the analysis artifacts (and the cached case) before timing: the
+    # cold case then measures pipeline re-execution, not first-import noise
+    client.results(**SERVING_QUERY)
+
+    def close() -> None:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        tmpdir.cleanup()
+
+    return SuiteInstance(
+        name="serving",
+        cases=[
+            prepared("query-cold", query_cold, repeats=3, warmup=1),
+            prepared("query-cached", query_cached, repeats=5, warmup=1),
+            prepared("submit-roundtrip", submit_roundtrip, repeats=1, warmup=0),
+        ],
+        close=close,
+    )

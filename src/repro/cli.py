@@ -31,6 +31,13 @@ baseline comparison — see ``docs/benchmarks.md``)::
 
     python -m repro bench run --suite pipeline --scale 0.2 --save /tmp/b.json
     python -m repro bench compare /tmp/b.json benchmarks/baselines/ci-ubuntu.json
+
+Run the sweep service (job queue daemon + cached HTTP/JSON query API — see
+``docs/service.md``), submit a job and query a cached result::
+
+    python -m repro serve --port 8023 --scale 0.5
+    python -m repro submit --url http://127.0.0.1:8023 --problems XENON2 --wait
+    python -m repro query --url http://127.0.0.1:8023 --problem XENON2
 """
 
 from __future__ import annotations
@@ -90,8 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep', 'list' "
-        "or 'bench' (the performance harness; see 'repro bench --help')",
+        help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep', 'list', "
+        "'bench' (the performance harness; see 'repro bench --help') or "
+        "'serve'/'submit'/'query' (the sweep service; see 'repro serve --help')",
     )
     parser.add_argument(
         "--nprocs", type=_nprocs_list, default=32,
@@ -295,6 +303,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(raw_argv[1:])
+    if raw_argv and raw_argv[0].lower() in ("serve", "submit", "query"):
+        # the service verbs likewise own their flag grammar (see
+        # repro/service/cli.py); the verb itself selects the subcommand
+        from repro.service.cli import main as service_main
+
+        return service_main(raw_argv)
     parser = build_parser()
     args = parser.parse_args(raw_argv)
     target = args.target.lower()
@@ -303,6 +317,9 @@ def main(argv: list[str] | None = None) -> int:
         # flags before the verb are ambiguous (--nprocs etc. belong to the
         # bench subcommands); require the verb-first spelling explicitly
         parser.error("'bench' must come first: repro bench {run,compare,list} ...")
+
+    if target in ("serve", "submit", "query"):
+        parser.error(f"'{target}' must come first: repro {target} [flags] ...")
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")

@@ -15,6 +15,7 @@ configured) — see :mod:`repro.pipeline.executor`.
 from __future__ import annotations
 
 import os
+from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -102,6 +103,11 @@ class AnalysisPipeline:
         self.cache_dir = str(cache_dir) if cache_dir else ""
         self.store = TieredStore(DiskStore(self.cache_dir) if self.cache_dir else None)
         self.stages: dict[str, Stage] = {cls.name: cls() for cls in stages}
+        #: number of actual ``Stage.compute`` executions per stage name.  A
+        #: cache hit (memory or disk tier) does not increment anything, so
+        #: the counters distinguish "served from cache" from "recomputed" —
+        #: the service layer exposes them and its tests assert on them.
+        self.stage_runs: Counter[str] = Counter()
 
     # ------------------------------------------------------------------ #
     # settings round-trip (for sweep workers)
@@ -159,6 +165,7 @@ class AnalysisPipeline:
                 pass
         upstream = {dep: self.artifact(dep, spec) for dep in stage.requires}
         value = stage.compute(self, spec, upstream)
+        self.stage_runs[stage_name] += 1
         if stage.cache:
             self.store.put(key, value, persist=stage.persist)
         return value

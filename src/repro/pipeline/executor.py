@@ -108,10 +108,16 @@ class SweepExecutor:
         return self._run_parallel(specs)
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op if none was started)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pool (no-op if none was started).
+
+        Safe to call repeatedly and from ``finally`` blocks: the pool
+        reference is cleared before the shutdown, so even a shutdown that
+        raises (e.g. a broken pool reaped by the OS) leaves the executor in
+        the closed state instead of retrying the same failure on re-entry.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "SweepExecutor":
         return self

@@ -196,6 +196,7 @@ def simulate_batch(engine, specs: "list[CaseSpec]"):
     """
     from repro.runtime.batch import BatchScenario, run_batch
 
+    engine.stage_runs["simulate"] += len(specs)
     first = specs[0]
     tree = engine.artifact("split", first).tree
     mapping = engine.artifact("mapping", first)

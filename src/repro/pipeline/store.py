@@ -112,14 +112,19 @@ class DiskStore(ArtifactStore):
     """One pickle per artifact in ``directory`` (``{key}.pkl``).
 
     Writes go through a temporary file followed by an atomic rename, so a
-    concurrent sweep worker never observes a half-written artifact — at worst
-    two workers compute the same artifact and the second rename wins with an
-    identical payload.
+    concurrent sweep worker or service reader never observes a half-written
+    artifact — at worst two writers compute the same artifact and the second
+    rename wins with an identical payload.  ``durable=True`` additionally
+    fsyncs the temporary file before the rename, so even a machine crash in
+    the middle of a write can never leave a torn file behind the key (the
+    rename is only allowed to become visible after the payload is on disk) —
+    the crash-safety level the service's shared result cache relies on.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike, *, durable: bool = False) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.durable = bool(durable)
 
     def path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -137,6 +142,9 @@ class DiskStore(ArtifactStore):
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh)
+                if self.durable:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, self.path(key))
         except BaseException:
             try:
@@ -144,6 +152,21 @@ class DiskStore(ArtifactStore):
             except OSError:
                 pass
             raise
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed (races are benign)."""
+        try:
+            os.unlink(self.path(key))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def size_bytes(self, key: str) -> int:
+        """On-disk payload size of ``key`` (0 when it vanished concurrently)."""
+        try:
+            return self.path(key).stat().st_size
+        except FileNotFoundError:
+            return 0
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

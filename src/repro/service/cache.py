@@ -1,0 +1,258 @@
+"""The shared result cache: TTL + LRU + size accounting over a DiskStore.
+
+:class:`CacheStore` promotes the pipeline's content-addressed
+:class:`~repro.pipeline.store.DiskStore` into a service-grade cache:
+
+* **TTL** — entries older than ``ttl_s`` are treated as misses and deleted
+  on access (and swept opportunistically on writes);
+* **LRU eviction** — ``max_entries`` / ``max_bytes`` budgets are enforced on
+  every write by evicting the least-recently-*used* entries first;
+* **size accounting** — the on-disk byte total is tracked incrementally and
+  exposed through :meth:`stats` (hits, misses, evictions, bytes, entries);
+* **concurrent-writer safety** — all bookkeeping happens under one lock,
+  while the payloads themselves ride the disk store's write-temp-then-
+  ``os.replace`` discipline (``durable=True``), so two daemons sharing a
+  cache directory can race freely: a reader sees either the old or the new
+  payload, never a torn one, and entries deleted by a sibling process
+  degrade into ordinary misses.
+
+The cache is *content-addressed by the caller* (the service derives result
+keys from canonical case parameters), so a stale in-memory index is never a
+correctness problem — at worst it re-reads the directory (:meth:`refresh`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.pipeline.store import ArtifactStore, DiskStore
+
+__all__ = ["CacheEntry", "CacheStats", "CacheStore"]
+
+
+@dataclass
+class CacheEntry:
+    """Index record of one cached payload."""
+
+    size: int
+    stored_at: float
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time cache counters (JSON-ready via ``__dict__``)."""
+
+    entries: int
+    bytes: int
+    hits: int
+    misses: int
+    puts: int
+    ttl_evictions: int
+    lru_evictions: int
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CacheStore(ArtifactStore):
+    """TTL/LRU cache over a :class:`DiskStore` directory (see module doc).
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (one pickle per entry, shared between processes).
+    ttl_s:
+        Seconds after which an entry expires (``None`` = never).
+    max_entries / max_bytes:
+        LRU budgets enforced after every write (``None`` = unbounded).
+    clock:
+        Injectable time source (tests freeze it to exercise TTL precisely).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        ttl_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.disk = DiskStore(directory, durable=True)
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._index: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._ttl_evictions = 0
+        self._lru_evictions = 0
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # index maintenance
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Rebuild the index from the directory (sibling writers resync)."""
+        with self._lock:
+            self._index.clear()
+            self._bytes = 0
+            for key in self.disk.keys():
+                try:
+                    stat = self.disk.path(key).stat()
+                except FileNotFoundError:
+                    continue  # deleted by a sibling between listing and stat
+                self._index[key] = CacheEntry(size=stat.st_size, stored_at=stat.st_mtime)
+                self._bytes += stat.st_size
+
+    def _drop(self, key: str, entry: CacheEntry) -> None:
+        # caller holds the lock; missing files (sibling already evicted) are fine
+        self.disk.delete(key)
+        self._index.pop(key, None)
+        self._bytes -= entry.size
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return self.ttl_s is not None and (self._clock() - entry.stored_at) > self.ttl_s
+
+    def _adopt(self, key: str) -> Optional[CacheEntry]:
+        """Pick up an entry written by a sibling process, if one exists."""
+        try:
+            stat = self.disk.path(key).stat()
+        except FileNotFoundError:
+            return None
+        entry = CacheEntry(size=stat.st_size, stored_at=stat.st_mtime)
+        self._index[key] = entry
+        self._bytes += entry.size
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # the mapping interface
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> object:
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                entry = self._adopt(key)
+            if entry is None:
+                self._misses += 1
+                raise KeyError(key)
+            if self._expired(entry):
+                self._drop(key, entry)
+                self._ttl_evictions += 1
+                self._misses += 1
+                raise KeyError(key)
+            try:
+                value = self.disk.get(key)
+            except KeyError:
+                # deleted underneath us by a sibling: an ordinary miss
+                self._index.pop(key, None)
+                self._bytes -= entry.size
+                self._misses += 1
+                raise
+            self._index.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: object, *, persist: bool = True) -> None:
+        with self._lock:
+            old = self._index.pop(key, None)
+            if old is not None:
+                self._bytes -= old.size
+            self.disk.put(key, value)
+            size = self.disk.size_bytes(key)
+            self._index[key] = CacheEntry(size=size, stored_at=self._clock())
+            self._bytes += size
+            self._puts += 1
+            self._evict(protect=key)
+
+    def _evict(self, *, protect: str) -> None:
+        # caller holds the lock; evict least-recently-used first, never the
+        # entry that was just written (a single oversized payload stays)
+        def over_budget() -> bool:
+            if self.max_entries is not None and len(self._index) > self.max_entries:
+                return True
+            if self.max_bytes is not None and self._bytes > self.max_bytes:
+                return True
+            return False
+
+        while over_budget():
+            key = next(iter(self._index))
+            if key == protect:
+                if len(self._index) == 1:
+                    break
+                self._index.move_to_end(key)
+                key = next(iter(self._index))
+                if key == protect:  # pragma: no cover - defensive
+                    break
+            self._drop(key, self._index[key])
+            self._lru_evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._index.get(key) or self._adopt(key)
+            if entry is None:
+                return False
+            if self._expired(entry):
+                self._drop(key, entry)
+                self._ttl_evictions += 1
+                return False
+            return True
+
+    # ------------------------------------------------------------------ #
+    # service-facing extras
+    # ------------------------------------------------------------------ #
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            entry = self._index.pop(key, None)
+            if entry is not None:
+                self._bytes -= entry.size
+            return self.disk.delete(key)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        with self._lock:
+            removed = 0
+            for key in list(self._index):
+                self._drop(key, self._index[key])
+                removed += 1
+            return removed
+
+    def sweep(self) -> int:
+        """Evict every expired entry now; returns how many were removed."""
+        with self._lock:
+            expired = [k for k, e in self._index.items() if self._expired(e)]
+            for key in expired:
+                self._drop(key, self._index[key])
+                self._ttl_evictions += 1
+            return len(expired)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._index),
+                bytes=self._bytes,
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                ttl_evictions=self._ttl_evictions,
+                lru_evictions=self._lru_evictions,
+            )

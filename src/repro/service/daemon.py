@@ -1,0 +1,408 @@
+"""The long-lived sweep service: queue, shards, cache, one engine.
+
+:class:`SweepService` is the daemon behind ``repro serve``.  It owns
+
+* a journal-backed :class:`~repro.service.jobs.JobQueue` (crash-safe, see
+  that module),
+* worker thread(s) that claim jobs, partition them into analysis-sharing
+  shards (:func:`~repro.service.shards.partition_shards`) and execute them
+  through a :class:`~repro.service.shards.ShardBackend` with per-shard
+  retry-with-backoff and a per-job wall-clock timeout,
+* a :class:`~repro.service.cache.CacheStore` of finished case results keyed
+  by canonical case parameters (:func:`result_key`) — the read-mostly side
+  every ``GET /results`` query hits first,
+* one :class:`~repro.experiments.runner.ExperimentRunner` session whose
+  engine also answers cache-missing queries and table requests inline
+  (serialised by a lock, so HTTP threads and job workers never race the
+  engine).
+
+The engine's ``stage_runs`` counters are exposed through :meth:`stats`;
+they only move when a pipeline stage actually computes, which is how the
+tests (and the acceptance criteria) prove that a repeated query was served
+from the cache rather than re-executed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from repro.pipeline.stage import CaseResult, CaseSpec
+from repro.pipeline.store import content_key
+from repro.service.cache import CacheStore
+from repro.service.jobs import JobQueue, JobRecord, JobSpec
+from repro.service.shards import (
+    InlineShardBackend,
+    ProcessShardBackend,
+    ShardBackend,
+    ShardTimeout,
+    partition_shards,
+)
+from repro.specs import parse_spec
+
+__all__ = ["QueryOutcome", "SweepService", "result_key", "case_spec_from_query"]
+
+#: schema version of the cached result payloads; bump to invalidate them all.
+_RESULT_VERSION = "1"
+
+
+def result_key(engine, spec: CaseSpec) -> str:
+    """Content-addressed cache key of one case's *result* payload.
+
+    Derived from the canonical case parameters with the engine defaults
+    bound in (``nprocs``/``scale`` overrides resolve to their effective
+    values), so the same logical query always lands on the same key whether
+    it arrives spelled out or relying on defaults — and two engines with
+    different defaults never collide.
+    """
+    params = {
+        "problem": spec.problem.upper(),
+        "ordering": str(parse_spec(spec.ordering)),
+        "strategy": str(parse_spec(spec.strategy)),
+        "split": bool(spec.split),
+        "nprocs": engine.effective_nprocs(spec),
+        "scale": engine.effective_scale(spec),
+        "split_threshold": spec.split_threshold,
+    }
+    return content_key("result", _RESULT_VERSION, params)
+
+
+def case_spec_from_query(params: Mapping[str, str]) -> CaseSpec:
+    """Build a canonical :class:`CaseSpec` from raw (string) query params.
+
+    Raises ``ValueError`` with a client-presentable message on bad input.
+    """
+    known = {"problem", "ordering", "strategy", "split", "nprocs", "scale", "split_threshold"}
+    unknown = set(params) - known - {"compute"}
+    if unknown:
+        raise ValueError(f"unknown query parameter(s) {sorted(unknown)}; expected {sorted(known)}")
+    problem = params.get("problem", "").strip()
+    if not problem:
+        raise ValueError("missing required query parameter 'problem'")
+
+    def _bool(name: str, default: bool = False) -> bool:
+        raw = params.get(name)
+        if raw is None:
+            return default
+        lowered = raw.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"query parameter {name!r} expects a boolean, got {raw!r}")
+
+    def _num(name: str, caster):
+        raw = params.get(name)
+        if raw is None or not raw.strip():
+            return None
+        try:
+            return caster(raw)
+        except ValueError:
+            raise ValueError(
+                f"query parameter {name!r} expects {caster.__name__}, got {raw!r}"
+            ) from None
+
+    return CaseSpec(
+        problem=problem.upper(),
+        ordering=str(parse_spec(params.get("ordering", "metis"))),
+        strategy=str(parse_spec(params.get("strategy", "memory-full"))),
+        split=_bool("split"),
+        nprocs=_num("nprocs", int),
+        scale=_num("scale", float),
+        split_threshold=_num("split_threshold", int),
+    )
+
+
+@dataclass
+class QueryOutcome:
+    """One answered result query: the payload, its key, and how it was served."""
+
+    key: str
+    payload: dict[str, object]
+    cached: bool
+
+
+class SweepService:
+    """The daemon: job queue + sharded execution + shared result cache.
+
+    Parameters
+    ----------
+    data_dir:
+        Service state directory; holds ``journal.jsonl`` (the job journal)
+        and ``results/`` (the shared result cache).
+    nprocs / scale / artifact_cache_dir:
+        Engine defaults, as for :class:`~repro.session.Session`
+        (``artifact_cache_dir=""`` keeps the artifact disk tier off).
+    jobs:
+        Shard execution width: ``1`` runs shards in-process through the
+        batched engine path, ``> 1`` uses a long-lived process pool.
+    workers:
+        Job worker threads draining the queue (each runs one job at a time).
+    shard_size:
+        Maximum cases per shard (``None`` = one shard per analysis group).
+    ttl_s / max_entries / max_bytes:
+        Result-cache policy, see :class:`~repro.service.cache.CacheStore`.
+    retry_base_delay:
+        First retry backoff in seconds (doubles per attempt).
+    journal_fsync:
+        ``False`` trades crash-safety for faster job turnover (tests, CI).
+    """
+
+    def __init__(
+        self,
+        *,
+        data_dir: str | os.PathLike,
+        nprocs: int = 32,
+        scale: float = 1.0,
+        artifact_cache_dir: str | os.PathLike | None = "",
+        jobs: int = 1,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        retry_base_delay: float = 0.1,
+        journal_fsync: bool = True,
+        backend: Optional[ShardBackend] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        from repro.experiments.runner import ExperimentRunner  # lazy: import cycle hygiene
+
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.session = ExperimentRunner(
+            nprocs=nprocs, scale=scale, cache_dir=artifact_cache_dir, jobs=1
+        )
+        self.engine = self.session.engine
+        self.cache = CacheStore(
+            self.data_dir / "results",
+            ttl_s=ttl_s,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )
+        self.queue = JobQueue(self.data_dir / "journal.jsonl", fsync=journal_fsync)
+        if backend is not None:
+            self.backend = backend
+        elif jobs > 1:
+            self.backend = ProcessShardBackend(self.engine, jobs=jobs)
+        else:
+            self.backend = InlineShardBackend(self.engine)
+        self.jobs = jobs
+        self.workers = workers
+        self.shard_size = shard_size
+        self.retry_base_delay = retry_base_delay
+        self.started_at = time.time()
+        self._engine_lock = threading.RLock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SweepService":
+        """Start the job worker threads (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-sweep-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, *, timeout: float = 30.0) -> None:
+        """Stop the workers and release the engine/backend (idempotent)."""
+        self._stop.set()
+        self.queue.wake()
+        threads, self._threads = self._threads, []
+        for thread in threads:
+            thread.join(timeout=timeout)
+        self.backend.close()
+        self.session.close()
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # submission and queries (HTTP-facing)
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: JobSpec | Mapping[str, object]) -> JobRecord:
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_dict(spec)
+        return self.queue.submit(spec)
+
+    def query(self, params: Mapping[str, str], *, compute: bool = True) -> QueryOutcome:
+        """Answer one result query, cache-first.
+
+        On a cache hit the engine is never touched.  On a miss the case runs
+        inline (under the engine lock) and its payload is cached before the
+        response — so the *next* identical query, from any thread, is a hit.
+        Raises ``KeyError`` when ``compute=False`` and the result is absent.
+        """
+        spec = case_spec_from_query(params)
+        key = result_key(self.engine, spec)
+        try:
+            payload = self.cache.get(key)
+            return QueryOutcome(key=key, payload=payload, cached=True)  # type: ignore[arg-type]
+        except KeyError:
+            if not compute:
+                raise
+        with self._engine_lock:
+            result = self.engine.run_case(spec)
+        payload = result.to_dict()
+        self.cache.put(key, payload)
+        return QueryOutcome(key=key, payload=payload, cached=False)
+
+    def table(self, name: str, *, problems: Sequence[str] = (), orderings: Sequence[str] = ()) -> QueryOutcome:
+        """One of the paper's tables, cache-first (same discipline as results)."""
+        from repro.experiments.tables import ALL_TABLES
+
+        entry = ALL_TABLES.entry(name)  # raises ValueError (with did-you-mean) on a miss
+        kwargs: dict[str, object] = {}
+        if problems:
+            if "problems" not in entry.params:
+                raise ValueError(f"table {name!r} does not accept a problem subset")
+            kwargs["problems"] = [p.upper() for p in problems]
+        if orderings:
+            if "orderings" not in entry.params:
+                raise ValueError(f"table {name!r} does not accept an ordering subset")
+            kwargs["orderings"] = [str(parse_spec(o)) for o in orderings]
+        key = content_key(
+            "table",
+            _RESULT_VERSION,
+            {
+                "name": name,
+                "nprocs": self.engine.nprocs,
+                "scale": self.engine.scale,
+                **{k: tuple(v) for k, v in kwargs.items()},  # type: ignore[arg-type]
+            },
+        )
+        try:
+            payload = self.cache.get(key)
+            return QueryOutcome(key=key, payload=payload, cached=True)  # type: ignore[arg-type]
+        except KeyError:
+            pass
+        with self._engine_lock:
+            rows = entry.value(self.session, **kwargs)
+        payload = {"table": name, "rows": rows}
+        self.cache.put(key, payload)
+        return QueryOutcome(key=key, payload=payload, cached=False)
+
+    def stats(self) -> dict[str, object]:
+        """The ``/healthz`` payload: liveness, queue, cache and engine counters."""
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "engine": {
+                "nprocs": self.engine.nprocs,
+                "scale": self.engine.scale,
+                "artifact_cache_dir": self.engine.cache_dir,
+            },
+            "execution": {
+                "backend": type(self.backend).__name__,
+                "jobs": self.jobs,
+                "workers": self.workers,
+                "shard_size": self.shard_size,
+            },
+            "jobs": self.queue.counts(),
+            "recovered_jobs": self.queue.recovered,
+            "cache": self.cache.stats().to_dict(),
+            "stage_runs": dict(self.engine.stage_runs),
+        }
+
+    # ------------------------------------------------------------------ #
+    # job execution (worker threads)
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.claim(timeout=0.2)
+            if record is None:
+                continue
+            try:
+                self._execute(record)
+            except Exception:  # pragma: no cover - defensive: _execute reports
+                try:
+                    self.queue.fail(record.id, traceback.format_exc(limit=3))
+                except Exception:
+                    pass
+
+    def _execute(self, record: JobRecord) -> None:
+        spec = record.spec
+        deadline = None if spec.timeout_s is None else time.monotonic() + spec.timeout_s
+        try:
+            specs = spec.expand()
+            shards = partition_shards(specs, max_shard_size=self.shard_size)
+            self.queue.set_shards(record.id, len(shards))
+            keys: list[Optional[str]] = [None] * len(specs)
+            done = 0
+            for shard_no, shard in enumerate(shards):
+                results = self._run_shard_with_retry(record, shard, deadline)
+                batch_keys = []
+                for (index, case_spec), result in zip(shard, results):
+                    key = self._store_result(case_spec, result)
+                    keys[index] = key
+                    batch_keys.append(key)
+                done += len(shard)
+                self.queue.progress(
+                    record.id, done=done, shards_done=shard_no + 1, result_keys=batch_keys
+                )
+            assert all(k is not None for k in keys)
+            self.queue.finish(record.id)
+        except ShardTimeout as exc:
+            self.queue.fail(record.id, f"timeout: {exc}")
+        except Exception as exc:
+            self.queue.fail(record.id, f"{type(exc).__name__}: {exc}")
+
+    def _store_result(self, spec: CaseSpec, result: CaseResult) -> str:
+        key = result_key(self.engine, spec)
+        self.cache.put(key, result.to_dict())
+        return key
+
+    def _run_shard_with_retry(
+        self,
+        record: JobRecord,
+        shard: list[tuple[int, CaseSpec]],
+        deadline: Optional[float],
+    ) -> list[CaseResult]:
+        specs = [case_spec for _, case_spec in shard]
+        delay = self.retry_base_delay
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, record.spec.max_attempts + 1):
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ShardTimeout(
+                    f"job deadline elapsed before shard of {len(specs)} case(s) "
+                    f"(after {record.spec.timeout_s:.1f}s)"
+                )
+            try:
+                if isinstance(self.backend, InlineShardBackend):
+                    # the inline backend shares the query engine: serialise
+                    with self._engine_lock:
+                        return self.backend.run_shard(specs, timeout_s=remaining)
+                return self.backend.run_shard(specs, timeout_s=remaining)
+            except ShardTimeout:
+                raise
+            except Exception as exc:
+                last_error = exc
+                if attempt == record.spec.max_attempts:
+                    break
+                self.queue.record_attempt(
+                    record.id, error=f"attempt {attempt}: {type(exc).__name__}: {exc}"
+                )
+                # exponential backoff, interruptible by shutdown
+                if self._stop.wait(delay):
+                    break
+                delay *= 2
+        assert last_error is not None
+        raise last_error

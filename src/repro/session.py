@@ -116,10 +116,22 @@ class Session:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down the sweep worker pool, if one was started."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        """Shut down the sweep worker pool, if one was started.
+
+        Idempotent and exception-safe: the executor reference is dropped
+        *before* its shutdown runs, so a second ``close()`` (or the context
+        manager exiting after an explicit close, or an executor whose pool
+        already shut down underneath us) is always a no-op rather than a
+        second shutdown attempt on a dead pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether no worker pool is currently held (a run may start one)."""
+        return self._executor is None
 
     def __enter__(self) -> "Session":
         return self

@@ -76,6 +76,48 @@ class TestStores:
         assert store.get("k-1") == 42
         assert "k-1" in store.memory
 
+    def test_disk_store_writes_are_atomic(self, tmp_path):
+        """A put never leaves a temp file behind, and readers racing writers
+        always see a complete payload (write-temp-then-``os.replace``)."""
+        import threading
+
+        store = DiskStore(tmp_path, durable=True)
+        store.put("hot", {"gen": -1, "blob": "x" * 4096})
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            try:
+                for gen in range(200):
+                    store.put("hot", {"gen": gen, "blob": "x" * 4096})
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    payload = store.get("hot")  # never torn, never missing
+                    assert len(payload["blob"]) == 4096
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        leftovers = [p.name for p in tmp_path.iterdir() if not p.name.endswith(".pkl")]
+        assert leftovers == []
+
+    def test_disk_store_delete_and_size(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("k", "x" * 100)
+        assert store.size_bytes("k") == store.path("k").stat().st_size > 0
+        assert store.delete("k") is True
+        assert store.delete("k") is False  # already gone: no error
+        assert store.size_bytes("k") == 0
+        assert "k" not in store
+
 
 # --------------------------------------------------------------------------- #
 # engine: cache-key invalidation

@@ -1,0 +1,622 @@
+"""Tests of the sweep service: jobs, cache, shards, daemon, HTTP API.
+
+The unit tests drive the queue/cache/shard layers directly (with injected
+clocks and backends, no sockets); the end-to-end tests run the real daemon
+behind a real loopback HTTP server — submit → poll → query — and assert the
+acceptance criteria: a repeated ``GET /results`` is served from the cache
+(stage-execution counters unchanged) with byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.stage import CaseSpec
+from repro.service import (
+    CacheStore,
+    InlineShardBackend,
+    JobQueue,
+    JobSpec,
+    JobStateError,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    case_spec_from_query,
+    make_server,
+    partition_shards,
+    result_key,
+)
+from repro.specs import SweepSpec
+
+NPROCS = 4
+SCALE = 0.2
+
+
+def tiny_sweep(problems=("XENON2",), strategies=("memory-full",)) -> SweepSpec:
+    return SweepSpec(problems=list(problems), orderings=["metis"], strategies=list(strategies))
+
+
+# --------------------------------------------------------------------------- #
+# JobSpec / JobRecord
+# --------------------------------------------------------------------------- #
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(
+            sweep=tiny_sweep(strategies=["mumps-workload", "memory-full"]),
+            cases=(CaseSpec("PRE2", "amd"),),
+            priority=2,
+            max_attempts=5,
+            timeout_s=9.5,
+        )
+        clone = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert [c.problem for c in clone.expand()] == ["XENON2", "XENON2", "PRE2"]
+
+    def test_needs_work(self):
+        with pytest.raises(ValueError, match="sweep grid or at least one"):
+            JobSpec()
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobSpec(sweep=tiny_sweep(), max_attempts=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            JobSpec(sweep=tiny_sweep(), timeout_s=0)
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown JobSpec fields"):
+            JobSpec.from_dict({"sweep": tiny_sweep().to_dict(), "nope": 1})
+
+
+# --------------------------------------------------------------------------- #
+# JobQueue: state machine + journal
+# --------------------------------------------------------------------------- #
+class TestJobQueue:
+    def test_lifecycle_done(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        record = queue.submit(JobSpec(sweep=tiny_sweep()))
+        assert record.state == "queued"
+        assert record.total == 1
+        claimed = queue.claim(timeout=1)
+        assert claimed is not None and claimed.id == record.id
+        assert queue.get(record.id).state == "running"
+        queue.progress(record.id, done=1, shards_done=1, result_keys=["result-x"])
+        queue.finish(record.id)
+        final = queue.get(record.id)
+        assert final.state == "done"
+        assert final.done == final.total == 1
+        assert final.result_keys == ["result-x"]
+        assert final.finished_at is not None
+
+    def test_lifecycle_failed_and_terminal_states_frozen(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        record = queue.submit(JobSpec(sweep=tiny_sweep()))
+        queue.claim(timeout=1)
+        queue.fail(record.id, "boom")
+        assert queue.get(record.id).state == "failed"
+        with pytest.raises(JobStateError, match="illegal transition"):
+            queue.finish(record.id)
+        with pytest.raises(JobStateError, match="illegal transition"):
+            queue.requeue(record.id)
+
+    def test_cannot_finish_unclaimed(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        record = queue.submit(JobSpec(sweep=tiny_sweep()))
+        with pytest.raises(JobStateError, match="queued.*done"):
+            queue.finish(record.id)
+
+    def test_priority_order(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        low = queue.submit(JobSpec(sweep=tiny_sweep(), priority=0))
+        high = queue.submit(JobSpec(sweep=tiny_sweep(), priority=5))
+        assert queue.claim(timeout=1).id == high.id
+        assert queue.claim(timeout=1).id == low.id
+
+    def test_claim_timeout_returns_none(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        assert queue.claim(timeout=0.01) is None
+
+    def test_requeue_bumps_attempts_and_resets_progress(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        record = queue.submit(JobSpec(sweep=tiny_sweep()))
+        queue.claim(timeout=1)
+        queue.progress(record.id, done=1, shards_done=1)
+        queue.requeue(record.id, error="transient")
+        back = queue.get(record.id)
+        assert back.state == "queued"
+        assert back.attempts == 1
+        assert back.done == 0 and back.shards_done == 0
+        assert queue.claim(timeout=1).id == record.id
+
+    def test_journal_replay_recovers_crashed_jobs(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(path, fsync=False)
+        finished = queue.submit(JobSpec(sweep=tiny_sweep()))
+        crashed = queue.submit(JobSpec(sweep=tiny_sweep()))
+        waiting = queue.submit(JobSpec(sweep=tiny_sweep(), priority=-1))
+        assert queue.claim(timeout=1).id == finished.id
+        queue.finish(finished.id, result_keys=["result-a"])
+        assert queue.claim(timeout=1).id == crashed.id  # dies while running
+
+        revived = JobQueue(path, fsync=False)  # the "restarted daemon"
+        assert revived.recovered == 1
+        assert revived.get(finished.id).state == "done"
+        assert revived.get(finished.id).result_keys == ["result-a"]
+        assert revived.get(crashed.id).state == "queued"
+        assert revived.get(waiting.id).state == "queued"
+        # the crashed job is claimable again (and outranks the low-priority one)
+        assert revived.claim(timeout=1).id == crashed.id
+
+    def test_journal_ignores_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue(path, fsync=False)
+        record = queue.submit(JobSpec(sweep=tiny_sweep()))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "update", "id": "' + record.id + '", "state": "fai')  # torn
+        revived = JobQueue(path, fsync=False)
+        assert revived.get(record.id).state == "queued"
+
+    def test_counts(self, tmp_path):
+        queue = JobQueue(tmp_path / "journal.jsonl", fsync=False)
+        a = queue.submit(JobSpec(sweep=tiny_sweep()))
+        queue.submit(JobSpec(sweep=tiny_sweep()))
+        queue.claim(timeout=1)
+        queue.fail(a.id, "x")
+        counts = queue.counts()
+        assert counts == {"queued": 1, "running": 0, "done": 0, "failed": 1}
+
+
+# --------------------------------------------------------------------------- #
+# shard partitioning
+# --------------------------------------------------------------------------- #
+class TestPartitionShards:
+    def test_groups_by_analysis_signature(self):
+        specs = [
+            CaseSpec("XENON2", "metis", "mumps-workload"),
+            CaseSpec("PRE2", "metis", "memory-full"),
+            CaseSpec("XENON2", "metis", "memory-full"),
+            CaseSpec("XENON2", "metis", "memory-full", nprocs=8),
+        ]
+        shards = partition_shards(specs)
+        assert [[i for i, _ in shard] for shard in shards] == [[0, 2], [1], [3]]
+
+    def test_chunking(self):
+        specs = [CaseSpec("XENON2", "metis", f"hybrid(alpha=0.{i})") for i in range(1, 6)]
+        shards = partition_shards(specs, max_shard_size=2)
+        assert [len(s) for s in shards] == [2, 2, 1]
+        assert [i for shard in shards for i, _ in shard] == list(range(5))
+
+    def test_bad_shard_size(self):
+        with pytest.raises(ValueError, match="max_shard_size"):
+            partition_shards([], max_shard_size=0)
+
+
+# --------------------------------------------------------------------------- #
+# CacheStore
+# --------------------------------------------------------------------------- #
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCacheStore:
+    def test_put_get_and_stats(self, tmp_path):
+        cache = CacheStore(tmp_path)
+        cache.put("k1", {"v": 1})
+        assert cache.get("k1") == {"v": 1}
+        assert "k1" in cache
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.hits == 1 and stats.misses == 0 and stats.puts == 1
+        assert stats.bytes > 0
+
+    def test_miss_counts(self, tmp_path):
+        cache = CacheStore(tmp_path)
+        with pytest.raises(KeyError):
+            cache.get("absent")
+        assert cache.stats().misses == 1
+
+    def test_ttl_expiry(self, tmp_path):
+        clock = FakeClock()
+        cache = CacheStore(tmp_path, ttl_s=10.0, clock=clock)
+        cache.put("k", "value")
+        clock.now += 5
+        assert cache.get("k") == "value"
+        clock.now += 6  # 11s after the put: expired
+        with pytest.raises(KeyError):
+            cache.get("k")
+        stats = cache.stats()
+        assert stats.ttl_evictions == 1
+        assert stats.entries == 0
+        assert not (cache.disk.path("k")).exists()  # evicted from disk too
+
+    def test_ttl_sweep(self, tmp_path):
+        clock = FakeClock()
+        cache = CacheStore(tmp_path, ttl_s=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.now += 20
+        cache.put("new", 2)
+        assert cache.sweep() == 1
+        assert "new" in cache and len(cache) == 1
+
+    def test_lru_eviction_by_entries(self, tmp_path):
+        cache = CacheStore(tmp_path, max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch: b becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats().lru_evictions == 1
+
+    def test_lru_eviction_by_bytes_and_accounting(self, tmp_path):
+        cache = CacheStore(tmp_path)
+        cache.put("probe", "x" * 100)
+        entry_size = cache.stats().bytes
+        cache2 = CacheStore(tmp_path / "b", max_bytes=int(entry_size * 2.5))
+        cache2.put("a", "x" * 100)
+        cache2.put("b", "x" * 100)
+        assert cache2.stats().entries == 2
+        cache2.put("c", "x" * 100)  # over budget: evict LRU ("a")
+        assert "a" not in cache2
+        assert cache2.stats().entries == 2
+        assert cache2.stats().bytes <= int(entry_size * 2.5)
+
+    def test_oversized_single_entry_survives(self, tmp_path):
+        cache = CacheStore(tmp_path, max_bytes=1)
+        cache.put("big", "x" * 1000)
+        assert cache.get("big") == "x" * 1000  # never evict the only entry
+
+    def test_overwrite_reaccounts_size(self, tmp_path):
+        cache = CacheStore(tmp_path)
+        cache.put("k", "x" * 1000)
+        big = cache.stats().bytes
+        cache.put("k", "x")
+        assert cache.stats().entries == 1
+        assert cache.stats().bytes < big
+
+    def test_sibling_process_adoption(self, tmp_path):
+        writer = CacheStore(tmp_path)
+        writer.put("shared", {"from": "writer"})
+        reader = CacheStore(tmp_path)  # fresh index, same directory
+        assert reader.get("shared") == {"from": "writer"}
+        # and a key deleted by the sibling degrades into a miss
+        writer.delete("shared")
+        with pytest.raises(KeyError):
+            reader.get("shared")
+
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        cache = CacheStore(tmp_path, max_entries=32)
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(120):
+                    key = f"k{(seed * 31 + i) % 48}"
+                    if i % 3 == 0:
+                        cache.put(key, {"seed": seed, "i": i})
+                    else:
+                        try:
+                            value = cache.get(key)
+                            assert isinstance(value, dict)
+                        except KeyError:
+                            pass
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats.bytes >= 0 and stats.puts > 0
+
+    def test_clear(self, tmp_path):
+        cache = CacheStore(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert list(cache.disk.keys()) == []
+
+
+# --------------------------------------------------------------------------- #
+# result keys and query parsing
+# --------------------------------------------------------------------------- #
+class TestResultKeys:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.pipeline.engine import AnalysisPipeline
+
+        return AnalysisPipeline(nprocs=NPROCS, scale=SCALE, cache_dir="")
+
+    def test_defaults_and_explicit_values_share_a_key(self, engine):
+        implicit = CaseSpec("XENON2", "metis", "memory-full")
+        explicit = CaseSpec("XENON2", "metis", "memory-full", nprocs=NPROCS, scale=SCALE)
+        assert result_key(engine, implicit) == result_key(engine, explicit)
+
+    def test_params_differentiate(self, engine):
+        base = CaseSpec("XENON2", "metis", "hybrid(alpha=0.3)")
+        other = CaseSpec("XENON2", "metis", "hybrid(alpha=0.5)")
+        assert result_key(engine, base) != result_key(engine, other)
+
+    def test_keyword_order_is_canonicalised(self, engine):
+        a = CaseSpec("XENON2", "metis", "hybrid(alpha=0.3,use_predictions=false)")
+        b = CaseSpec("XENON2", "metis", "hybrid(use_predictions=false, alpha=0.3)")
+        assert result_key(engine, a) == result_key(engine, b)
+
+    def test_query_parsing(self):
+        spec = case_spec_from_query(
+            {"problem": "xenon2", "strategy": "hybrid(alpha=0.3)", "nprocs": "8", "split": "true"}
+        )
+        assert spec.problem == "XENON2"
+        assert spec.strategy == "hybrid(alpha=0.3)"
+        assert spec.nprocs == 8 and spec.split is True
+        assert spec.ordering == "metis"  # default
+
+    def test_query_parsing_errors(self):
+        with pytest.raises(ValueError, match="missing required"):
+            case_spec_from_query({})
+        with pytest.raises(ValueError, match="unknown query parameter"):
+            case_spec_from_query({"problem": "XENON2", "bogus": "1"})
+        with pytest.raises(ValueError, match="expects int"):
+            case_spec_from_query({"problem": "XENON2", "nprocs": "eight"})
+        with pytest.raises(ValueError, match="expects a boolean"):
+            case_spec_from_query({"problem": "XENON2", "split": "maybe"})
+
+
+# --------------------------------------------------------------------------- #
+# daemon execution policies (no sockets: direct SweepService)
+# --------------------------------------------------------------------------- #
+class FlakyBackend(InlineShardBackend):
+    """Fails the first ``failures`` run_shard calls, then delegates."""
+
+    def __init__(self, engine, failures: int) -> None:
+        super().__init__(engine)
+        self.failures = failures
+        self.calls = 0
+
+    def run_shard(self, specs, *, timeout_s=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient failure {self.calls}")
+        return super().run_shard(specs, timeout_s=timeout_s)
+
+
+class SlowBackend(InlineShardBackend):
+    def __init__(self, engine, delay: float) -> None:
+        super().__init__(engine)
+        self.delay = delay
+
+    def run_shard(self, specs, *, timeout_s=None):
+        time.sleep(self.delay)
+        return super().run_shard(specs, timeout_s=timeout_s)
+
+
+def _make_service(tmp_path, **kwargs) -> SweepService:
+    kwargs.setdefault("nprocs", NPROCS)
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("journal_fsync", False)
+    kwargs.setdefault("retry_base_delay", 0.01)
+    return SweepService(data_dir=tmp_path / "svc", **kwargs)
+
+
+def _wait_terminal(service: SweepService, job_id: str, timeout: float = 120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.queue.get(job_id)
+        if record.state in ("done", "failed"):
+            return record
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+class TestSweepServiceExecution:
+    def test_retry_with_backoff_recovers(self, tmp_path):
+        service = _make_service(tmp_path)
+        service.backend = FlakyBackend(service.engine, failures=2)
+        with service:
+            record = service.submit({"sweep": tiny_sweep().to_dict(), "max_attempts": 3})
+            final = _wait_terminal(service, record.id)
+        assert final.state == "done"
+        assert final.attempts == 2  # two failed attempts were journaled
+        assert service.backend.calls == 3
+
+    def test_retry_budget_exhausted_fails(self, tmp_path):
+        service = _make_service(tmp_path)
+        service.backend = FlakyBackend(service.engine, failures=99)
+        with service:
+            record = service.submit({"sweep": tiny_sweep().to_dict(), "max_attempts": 2})
+            final = _wait_terminal(service, record.id)
+        assert final.state == "failed"
+        assert "RuntimeError" in final.error
+        assert service.backend.calls == 2
+
+    def test_job_timeout(self, tmp_path):
+        service = _make_service(tmp_path)
+        service.backend = SlowBackend(service.engine, delay=0.1)
+        with service:
+            # two problems → two shards; the deadline elapses after shard one
+            spec = {"sweep": tiny_sweep(problems=["XENON2", "PRE2"]).to_dict(), "timeout_s": 0.05}
+            record = service.submit(spec)
+            final = _wait_terminal(service, record.id)
+        assert final.state == "failed"
+        assert final.error.startswith("timeout")
+
+    def test_invalid_submission_rejected_before_queueing(self, tmp_path):
+        service = _make_service(tmp_path)
+        with pytest.raises(ValueError):
+            service.submit({"sweep": {"problems": []}})
+        assert len(service.queue) == 0
+        service.stop()
+
+    def test_results_cached_under_canonical_keys(self, tmp_path):
+        service = _make_service(tmp_path)
+        with service:
+            record = service.submit(
+                {"sweep": tiny_sweep(strategies=["mumps-workload", "memory-full"]).to_dict()}
+            )
+            final = _wait_terminal(service, record.id)
+            assert final.state == "done"
+            assert len(final.result_keys) == 2
+            for key in final.result_keys:
+                payload = service.cache.get(key)
+                assert payload["problem"] == "XENON2"
+            # a query for the same case is a pure cache hit
+            outcome = service.query({"problem": "XENON2", "strategy": "memory-full"})
+            assert outcome.cached is True
+
+    def test_crash_recovery_reruns_job(self, tmp_path):
+        service = _make_service(tmp_path)
+        # no start(): submit then simulate a crash mid-queue
+        record = service.submit({"sweep": tiny_sweep().to_dict()})
+        claimed = service.queue.claim(timeout=1)
+        assert claimed.id == record.id  # "crashed" while running
+        service.stop()
+
+        revived = _make_service(tmp_path)
+        assert revived.queue.recovered == 1
+        with revived:
+            final = _wait_terminal(revived, record.id)
+        assert final.state == "done"
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end over a real socket
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A running daemon + HTTP server + client (module-shared, tiny scale)."""
+    data_dir = tmp_path_factory.mktemp("service-e2e")
+    service = SweepService(
+        data_dir=data_dir, nprocs=NPROCS, scale=SCALE, journal_fsync=False
+    )
+    service.start()
+    server = make_server(service, quiet=True)
+    server.serve_background()
+    client = ServiceClient(f"http://127.0.0.1:{server.port}")
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestServiceEndToEnd:
+    def test_healthz(self, served):
+        _, client = served
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["engine"] == {"nprocs": NPROCS, "scale": SCALE, "artifact_cache_dir": ""}
+        assert set(payload["jobs"]) == {"queued", "running", "done", "failed"}
+
+    def test_submit_poll_query_roundtrip(self, served):
+        service, client = served
+        record = client.submit(
+            {
+                "sweep": {
+                    "problems": ["XENON2"],
+                    "orderings": ["metis"],
+                    "strategies": ["mumps-workload", "hybrid(alpha=0.3)"],
+                }
+            }
+        )
+        assert record["state"] == "queued" or record["state"] == "running"
+        final = client.wait(str(record["id"]), timeout=120)
+        assert final["state"] == "done"
+        assert final["done"] == final["total"] == 2
+        assert final["shards_done"] == final["shards_total"] == 1
+
+        # the job populated the cache: the query is a hit, not a recompute
+        response = client.results(
+            problem="XENON2", ordering="metis", strategy="hybrid(alpha=0.3)"
+        )
+        assert response.cached
+        assert response.payload["result"]["strategy"] == "hybrid(alpha=0.3)"
+
+    def test_repeated_query_is_cached_and_byte_identical(self, served):
+        """The PR's acceptance criterion, end to end."""
+        service, client = served
+        params = {"problem": "XENON2", "ordering": "metis", "strategy": "memory-full"}
+        service.cache.clear()
+
+        first = client.results(**params)
+        assert first.cache == "miss"  # computed through the pipeline
+
+        runs_before = client.healthz()["stage_runs"]
+        start = time.perf_counter()
+        second = client.results(**params)
+        latency = time.perf_counter() - start
+        runs_after = client.healthz()["stage_runs"]
+
+        assert second.cache == "hit"
+        assert second.body == first.body  # byte-identical JSON
+        assert runs_after == runs_before  # no pipeline stage re-executed
+        assert latency < 0.25  # served from cache in milliseconds, not seconds
+
+    def test_query_defaults_match_explicit_engine_values(self, served):
+        _, client = served
+        a = client.results(problem="XENON2", ordering="metis", strategy="memory-full")
+        b = client.results(
+            problem="XENON2", ordering="metis", strategy="memory-full",
+            nprocs=NPROCS, scale=SCALE,
+        )
+        assert b.cache == "hit"
+        assert a.payload["key"] == b.payload["key"]
+        assert a.body == b.body
+
+    def test_no_compute_miss_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.results(problem="XENON2", strategy="memory-basic", compute=False)
+        assert err.value.status == 404
+
+    def test_bad_requests_are_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.results(problem="XENON2", nprocs="eight")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit({"sweep": {"problems": []}})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client._request("/results?bogus=1")
+        assert err.value.status == 400
+
+    def test_unknown_endpoints_and_jobs_are_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client._request("/nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.job("does-not-exist")
+        assert err.value.status == 404
+
+    def test_jobs_listing(self, served):
+        _, client = served
+        jobs = client.jobs()
+        assert jobs, "earlier tests submitted jobs"
+        assert {"id", "state", "done", "total"} <= set(jobs[0])
+
+    def test_table_endpoint_cache_first(self, served):
+        service, client = served
+        first = client.table("table1", problems="XENON2,PRE2")
+        second = client.table("table1", problems="XENON2,PRE2")
+        assert first.payload["table"] == "table1"
+        assert set(first.payload["rows"]) == {"XENON2", "PRE2"}
+        assert second.cache == "hit"
+        assert second.body == first.body
+
+    def test_unknown_table_is_client_error(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.table("table99")
+        assert err.value.status == 400

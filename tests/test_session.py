@@ -29,6 +29,28 @@ class TestSession:
             assert result.max_peak_stack > 0
         assert session._executor is None
 
+    def test_close_is_idempotent(self):
+        session = open_session(nprocs=4, scale=0.2)
+        session.sweep(problems="XENON2", strategies=["memory-full"])
+        assert not session.closed  # sweep instantiated the lazy executor
+        session.close()
+        assert session.closed
+        session.close()  # second close: a no-op, not an error
+        assert session.closed
+
+    def test_context_manager_safe_after_explicit_close(self):
+        """``close()`` inside the ``with`` body must not break ``__exit__``."""
+        with open_session(nprocs=4, scale=0.2, jobs=2) as session:
+            session.sweep(problems="XENON2", strategies=["memory-full"])
+            session.close()
+        assert session.closed
+
+    def test_close_before_any_work(self):
+        session = open_session(nprocs=4, scale=0.2)
+        assert session.closed  # executor is lazy: nothing to shut down yet
+        session.close()
+        assert session.closed
+
     def test_run_accepts_dict_cases(self):
         with open_session(nprocs=4, scale=0.2) as session:
             a = session.run({"problem": "XENON2", "ordering": "metis"})
