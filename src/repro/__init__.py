@@ -27,7 +27,11 @@ offline:
   (:mod:`repro.registry`), parameterized specs and the spec mini-language
   (:mod:`repro.specs`), and the :class:`~repro.session.Session` façade
   regenerating every table and figure of the paper
-  (:mod:`repro.session`, :mod:`repro.experiments`, see ``docs/api.md``).
+  (:mod:`repro.session`, :mod:`repro.experiments`, see ``docs/api.md``);
+* a columnar result store with streaming append and resumable sweeps —
+  ``Session.sweep(store=...)`` skips already-computed cases and the sweep
+  service pages ``GET /results`` straight off the columns
+  (:mod:`repro.results`, see ``docs/results.md``).
 
 Quickstart
 ----------
@@ -80,6 +84,7 @@ from repro.runtime import FactorizationSimulator, SimulationConfig, SimulationRe
 from repro.scheduling import STRATEGIES, get_strategy, resolve_strategy
 from repro.session import Session, open_session
 from repro.pipeline import CaseResult, CaseSpec
+from repro.results import CaseResultView, ResultStore, ResultTable, case_key
 from repro.experiments import ExperimentRunner, PROBLEMS, get_problem
 
 __version__ = "2.0.0"
@@ -110,6 +115,10 @@ __all__ = [
     "open_session",
     "CaseSpec",
     "CaseResult",
+    "CaseResultView",
+    "ResultStore",
+    "ResultTable",
+    "case_key",
     "ExperimentRunner",
     "PROBLEMS",
     "get_problem",

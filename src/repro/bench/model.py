@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.bench.env import BenchEnv
+from repro.serialize import decode_fields
 
 __all__ = ["SCHEMA_VERSION", "BenchCase", "BenchResult", "BenchRun", "host_tag"]
 
@@ -59,6 +60,7 @@ class BenchCase:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BenchCase":
+        data = decode_fields("bench_case", data, {"name", "suite", "params"}, label="BenchCase")
         params = data.get("params") or {}
         if not isinstance(params, Mapping):
             raise ValueError(f"BenchCase params must be a mapping, got {params!r}")
@@ -113,6 +115,14 @@ class BenchResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BenchResult":
+        # tolerant: a baseline recorded by a newer build (extra fields) still
+        # loads for comparison on this one
+        data = decode_fields(
+            "bench_result",
+            data,
+            {"case", "seconds", "warmup", "metrics", "error", "profile"},
+            label="BenchResult",
+        )
         profile = data.get("profile")
         return cls(
             case=BenchCase.from_dict(data["case"]),  # type: ignore[arg-type]

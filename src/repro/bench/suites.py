@@ -28,6 +28,10 @@ Suites:
     The service layer's query path over a real loopback socket: one cold
     query (cache cleared, pipeline executes) vs. one cached query (served
     from the shared result cache) vs. one submit→poll job round-trip.
+``results``
+    The columnar result store at corpus scale: streaming 10k synthetic case
+    results through a segment writer, columnar filter + canonical sort +
+    one page, and the ``.npz`` round-trip of the whole table.
 """
 
 from __future__ import annotations
@@ -441,4 +445,108 @@ def _serving_suite(env: BenchEnv) -> SuiteInstance:
             prepared("submit-roundtrip", submit_roundtrip, repeats=1, warmup=0),
         ],
         close=close,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# results: the columnar store at corpus scale (synthetic rows, no engine)
+# --------------------------------------------------------------------------- #
+#: row count of the synthetic corpus (fixed across scales for comparability).
+RESULTS_ROWS = 10_000
+
+
+def _synthetic_results(n: int):
+    """``n`` deterministic synthetic (key, CaseResult) pairs."""
+    import numpy as np
+
+    from repro.pipeline.stage import CaseResult
+
+    rng = np.random.default_rng(20040817)  # the paper's venue date; any seed works
+    problems = ["XENON2", "PRE2", "TWOTONE", "ULTRASOUND3", "MIXINGTANK"]
+    orderings = ["metis", "pord", "amd", "amf"]
+    strategies = ["mumps-workload", "memory-full", "hybrid(alpha=0.25)", "hybrid(alpha=0.75)"]
+    nprocs_axis = [8, 16, 32]
+    peaks = rng.uniform(1e5, 1e8, size=n)
+    times = rng.uniform(0.5, 50.0, size=n)
+    pairs = []
+    for i in range(n):
+        nprocs = nprocs_axis[i % len(nprocs_axis)]
+        per_proc = rng.uniform(1e4, peaks[i], size=nprocs)
+        result = CaseResult(
+            problem=problems[i % len(problems)],
+            ordering=orderings[(i // 5) % len(orderings)],
+            strategy=strategies[(i // 20) % len(strategies)],
+            split=bool(i % 2),
+            nprocs=nprocs,
+            max_peak_stack=float(peaks[i]),
+            avg_peak_stack=float(per_proc.mean()),
+            sum_peak_stack=float(per_proc.sum()),
+            total_time=float(times[i]),
+            total_factor_entries=float(peaks[i] * 3.0),
+            per_proc_peak_stack=per_proc,
+            nodes=1000 + i % 5000,
+            nodes_split=i % 100,
+            messages=10_000 + i % 100_000,
+        )
+        pairs.append((f"result-{i:024x}", result))
+    return pairs
+
+
+@SUITES.register(
+    "results",
+    description="columnar result store: streaming append, filter+page, npz round-trip (10k rows)",
+)
+def _results_suite(env: BenchEnv) -> SuiteInstance:
+    import os
+    import tempfile
+
+    from repro.results import ResultStore, ResultTable
+
+    pairs = _synthetic_results(RESULTS_ROWS)
+    table = ResultTable.from_results([r for _, r in pairs], keys=[k for k, _ in pairs])
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-results-")
+    run_no = {"n": 0}
+
+    def append_stream() -> dict[str, float]:
+        # a fresh store directory per repeat: measures segment sealing and
+        # manifest appends end to end (fsync off, as in CI daemons)
+        run_no["n"] += 1
+        store = ResultStore(os.path.join(tmpdir.name, f"append-{run_no['n']}"), fsync=False)
+        with store.writer(flush_every=1024) as writer:
+            for key, result in pairs:
+                writer.append(key, result)
+        return {"rows": float(len(store)), "segments": float(store.stats()["segments"])}
+
+    def filter_page() -> dict[str, float]:
+        # the GET /results hot path: columnar predicate, canonical sort, one page
+        page = table.filter(problem="XENON2", nprocs=16).sorted()
+        rows = page.take(range(min(50, len(page)))).to_dicts()
+        return {"matched": float(len(page)), "page": float(len(rows))}
+
+    def npz_roundtrip() -> dict[str, float]:
+        path = os.path.join(tmpdir.name, "roundtrip.npz")
+        table.save_npz(path)
+        loaded = ResultTable.load_npz(path)
+        return {"rows": float(len(loaded)), "bytes": float(os.path.getsize(path))}
+
+    def prepared(name: str, fn, *, repeats: int, warmup: int) -> PreparedCase:
+        return PreparedCase(
+            case=BenchCase(
+                name=name,
+                suite="results",
+                params=(("rows", RESULTS_ROWS),),
+            ),
+            fn=fn,
+            repeats=repeats,
+            warmup=warmup,
+        )
+
+    return SuiteInstance(
+        name="results",
+        cases=[
+            prepared("append-10k", append_stream, repeats=3, warmup=1),
+            prepared("filter-page-10k", filter_page, repeats=5, warmup=1),
+            prepared("npz-roundtrip-10k", npz_roundtrip, repeats=3, warmup=1),
+        ],
+        close=tmpdir.cleanup,
     )

@@ -19,6 +19,12 @@ JSON::
         --strategies 'mumps-workload,hybrid(alpha=0.25)' \\
         --nprocs 8,16,32 --jobs 4 --format json
 
+Make a sweep resumable — completed cases stream into a columnar result
+store and a rerun recomputes only what is missing (see ``docs/results.md``)::
+
+    python -m repro sweep --problems XENON2 --strategies memory-full \\
+        --nprocs 8,16 --store .repro_results --format json
+
 List the available problems, orderings and strategies (``--format json``
 emits the registry metadata machine-readably, including the parameters each
 strategy/ordering accepts)::
@@ -125,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--split", action="store_true", help="apply static splitting of large masters ('sweep' target)"
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="columnar result-store directory for the 'sweep' target: completed cases stream "
+        "into it and a rerun over the same directory skips them (resumable sweeps)",
     )
     parser.add_argument(
         "--format", choices=("text", "json", "csv"), default="text",
@@ -260,7 +271,8 @@ def _emit_sweep(results, fmt: str, seconds: float) -> None:
 
 
 def _run_sweep(
-    runner: ExperimentRunner, problems, orderings, strategies, nprocs_axis, *, split: bool, fmt: str
+    runner: ExperimentRunner, problems, orderings, strategies, nprocs_axis,
+    *, split: bool, fmt: str, store: str | None = None,
 ) -> None:
     sweep = SweepSpec(
         problems=problems or list(PROBLEMS),
@@ -270,7 +282,20 @@ def _run_sweep(
         nprocs=nprocs_axis,
     )
     start = time.time()
-    results = runner.run_cases(sweep.expand())
+    if store is not None:
+        # the Session-level grid sweep (ExperimentRunner.sweep is the
+        # historical positional-axes API and knows nothing about stores)
+        from repro.session import Session
+
+        results = Session.sweep(runner, sweep, store=store)
+        print(
+            f"store {store}: {results.skipped} case(s) already present, "
+            f"{results.computed} computed",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        results = runner.run_cases(sweep.expand())
     _emit_sweep(results, fmt, time.time() - start)
 
 
@@ -363,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
     nprocs_axis = args.nprocs if isinstance(args.nprocs, list) else [args.nprocs]
     if len(nprocs_axis) > 1 and not wanted_sweep:
         parser.error("a multi-valued --nprocs axis is only supported by the 'sweep' target")
+    if args.store is not None and not wanted_sweep:
+        parser.error("--store is only supported by the 'sweep' target")
     engine_nprocs = nprocs_axis[0]
 
     # engine flags the user actually typed (vs. parser defaults); short
@@ -412,7 +439,7 @@ def main(argv: list[str] | None = None) -> int:
                 axis = args.nprocs if isinstance(args.nprocs, list) else [None]
                 _run_sweep(
                     runner, problems, orderings, strategies, axis,
-                    split=args.split, fmt=args.format,
+                    split=args.split, fmt=args.format, store=args.store,
                 )
         finally:
             runner.close()

@@ -98,14 +98,25 @@ class SweepExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -------------------------------------------------------------- #
-    def run(self, specs: Sequence[CaseSpec]) -> list[CaseResult]:
-        """Run every case and return results in input order."""
+    def run(
+        self,
+        specs: Sequence[CaseSpec],
+        *,
+        on_result: Optional[Callable[[int, CaseSpec, CaseResult], None]] = None,
+    ) -> list[CaseResult]:
+        """Run every case and return results in input order.
+
+        ``on_result(index, spec, result)`` is invoked in the driver process
+        as each case *completes* — i.e. in execution order, not input order —
+        which is what lets a result store persist the finished prefix of a
+        sweep before the sweep is done (and therefore before a crash).
+        """
         specs = list(specs)
         if not specs:
             return []
         if self.jobs == 1 or len(specs) == 1:
-            return self._run_serial(specs)
-        return self._run_parallel(specs)
+            return self._run_serial(specs, on_result)
+        return self._run_parallel(specs, on_result)
 
     def close(self) -> None:
         """Shut down the worker pool (no-op if none was started).
@@ -130,12 +141,19 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress(ProgressEvent(done, total, spec, seconds))
 
-    def _run_serial(self, specs: list[CaseSpec]) -> list[CaseResult]:
+    def _run_serial(
+        self,
+        specs: list[CaseSpec],
+        on_result: Optional[Callable[[int, CaseSpec, CaseResult], None]] = None,
+    ) -> list[CaseResult]:
         results: list[CaseResult] = []
         total = len(specs)
         for i, spec in enumerate(specs):
             start = time.perf_counter()
-            results.append(self.engine.run_case(spec))
+            result = self.engine.run_case(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(i, spec, result)
             self._emit(i + 1, total, spec, time.perf_counter() - start)
         return results
 
@@ -147,7 +165,11 @@ class SweepExecutor:
             groups.setdefault(spec.analysis_signature(), []).append((index, spec))
         return list(groups.values())
 
-    def _run_parallel(self, specs: list[CaseSpec]) -> list[CaseResult]:
+    def _run_parallel(
+        self,
+        specs: list[CaseSpec],
+        on_result: Optional[Callable[[int, CaseSpec, CaseResult], None]] = None,
+    ) -> list[CaseResult]:
         groups = self.group_by_analysis(specs)
         total = len(specs)
         done = 0
@@ -169,6 +191,8 @@ class SweepExecutor:
                     for index, result, seconds in future.result():
                         results[index] = result
                         done += 1
+                        if on_result is not None:
+                            on_result(index, specs[index], result)
                         self._emit(done, total, specs[index], seconds)
         except BaseException:
             for future in pending:

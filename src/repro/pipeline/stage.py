@@ -104,12 +104,17 @@ class CaseSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "CaseSpec":
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown CaseSpec fields {sorted(unknown)}; expected {sorted(known)}")
-        return cls(**data)  # type: ignore[arg-type]
+    def from_dict(cls, data: Mapping[str, object], *, strict: bool = True) -> "CaseSpec":
+        from repro.serialize import decode_fields
+
+        payload = decode_fields(
+            "case_spec",
+            data,
+            {f.name for f in fields(cls)},
+            label="CaseSpec",
+            strict=strict,
+        )
+        return cls(**payload)  # type: ignore[arg-type]
 
 
 class Stage(ABC):
@@ -227,7 +232,13 @@ class CaseResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CaseResult":
-        payload = dict(data)
+        from repro.serialize import decode_fields
+
+        # tolerant: a result payload from a newer writer (extra columns) or
+        # an HTTP body with an envelope still decodes on this build
+        payload = decode_fields(
+            "case_result", data, {f.name for f in fields(cls)}, label="CaseResult"
+        )
         payload["per_proc_peak_stack"] = np.asarray(
             payload.get("per_proc_peak_stack", ()), dtype=np.float64
         )

@@ -1,0 +1,56 @@
+"""Canonical case keys: the identity of one result in the store and cache.
+
+A key is a content address over the *canonical* case parameters with the
+engine defaults bound in — ``nprocs``/``scale`` overrides resolve to their
+effective values and the ordering/strategy spec strings canonicalise through
+:func:`repro.specs.parse_spec`.  The same logical case always lands on the
+same key whether it arrives spelled out or relying on defaults; two engines
+with different defaults never collide.
+
+This is the exact key the service cache has always used
+(:func:`repro.service.daemon.result_key` now delegates here), so a store and
+a cache populated by the same daemon agree row for row.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.pipeline.store import content_key
+from repro.specs import parse_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.engine import AnalysisPipeline
+    from repro.pipeline.stage import CaseSpec
+
+__all__ = ["CASE_KEY_VERSION", "case_key", "case_key_for"]
+
+#: schema version of the result keys; bump to invalidate every stored result.
+CASE_KEY_VERSION = "1"
+
+
+def case_key(
+    spec: "CaseSpec", *, nprocs: int, scale: float, split_threshold: Optional[int] = None
+) -> str:
+    """The content key of one case at explicit effective parameters."""
+    params = {
+        "problem": spec.problem.upper(),
+        "ordering": str(parse_spec(spec.ordering)),
+        "strategy": str(parse_spec(spec.strategy)),
+        "split": bool(spec.split),
+        "nprocs": int(nprocs),
+        "scale": float(scale),
+        "split_threshold": (
+            spec.split_threshold if split_threshold is None else split_threshold
+        ),
+    }
+    return content_key("result", CASE_KEY_VERSION, params)
+
+
+def case_key_for(engine: "AnalysisPipeline", spec: "CaseSpec") -> str:
+    """The content key of one case with ``engine``'s defaults bound in."""
+    return case_key(
+        spec,
+        nprocs=engine.effective_nprocs(spec),
+        scale=engine.effective_scale(spec),
+    )

@@ -1,0 +1,340 @@
+"""The append-only :class:`ResultStore`: durable, resumable, shareable.
+
+Layout of a store directory::
+
+    store/
+      manifest.jsonl          # one JSON line per sealed segment (append-only)
+      seg-<writer>-000000.npz # immutable columnar segments (ResultTable)
+      seg-<writer>-000001.npz
+      traces/trace-<key>.npz  # optional delta-encoded SimulationTraces
+
+The durability discipline is the journal idiom of
+:class:`repro.service.jobs.JobJournal`: a segment is written to a temp
+sibling, (optionally) fsync-ed and ``os.replace``-d into place *before* its
+manifest line is appended (flushed + fsync-ed under a lock) — so a manifest
+line implies a complete segment, a torn trailing line is skipped on replay,
+and a segment file that never got its line (crash between the two steps) is
+*adopted* on the next open.  Nothing is ever rewritten in place; a crash at
+any point loses at most the rows still buffered in a writer.
+
+One :class:`ResultWriter` per producer (sweep driver, service shard): each
+writer seals its own uniquely named segments, so concurrent writers — even
+in different processes sharing the directory — never collide; siblings'
+segments appear on :meth:`ResultStore.refresh`.
+
+Reads are indexed: the store keeps ``key → (segment, row)`` with last-write
+wins, so :meth:`get`/``in`` are O(1) and :meth:`table` deduplicates by key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.pipeline.stage import CaseResult
+from repro.results.table import ResultTable, ResultTableBuilder
+from repro.results.traces import decode_trace, encode_trace
+from repro.serialize import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.trace import SimulationTrace
+
+__all__ = ["ResultStore", "ResultWriter"]
+
+_MANIFEST = "manifest.jsonl"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".npz"
+
+
+class ResultStore:
+    """A directory of immutable columnar segments plus a replayable manifest.
+
+    Parameters
+    ----------
+    directory:
+        The store directory (created if missing).
+    fsync:
+        ``True`` (default) makes each sealed segment and manifest line
+        durable before it is acknowledged; ``False`` trades the power-loss
+        guarantee for speed (tests, CI, benchmarks).
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self._lock = threading.RLock()
+        self._writer_tag = uuid.uuid4().hex[:8]
+        self._writer_seq = 0
+        self._segments: dict[str, ResultTable] = {}  # filename → table, manifest order
+        self._index: dict[str, tuple[str, int]] = {}  # key → (filename, row)
+        self._default_writer: Optional[ResultWriter] = None
+        self.replay_skipped = 0  # unloadable segments seen during replay
+        self._replay()
+
+    # ------------------------------------------------------------------ #
+    # replay and refresh
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _manifest_files(self) -> list[str]:
+        """Segment filenames named by the manifest, torn trailing line skipped."""
+        files: list[str] = []
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return files
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                # torn trailing line from a crash mid-append: the segment it
+                # described will be adopted as an orphan if it is complete
+                continue
+            if event.get("op") == "segment" and isinstance(event.get("file"), str):
+                files.append(event["file"])
+        return files
+
+    def _append_manifest(self, filename: str, rows: int) -> None:
+        # caller holds self._lock
+        line = canonical_json({"op": "segment", "file": filename, "rows": rows})
+        with open(self.manifest_path, "ab") as fh:
+            fh.write(line)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def _load_segment(self, filename: str) -> Optional[ResultTable]:
+        try:
+            return ResultTable.load_npz(self.directory / filename)
+        except (OSError, ValueError, KeyError, EOFError):
+            # a torn or foreign file must never poison replay — skip it; the
+            # rows it would have held are simply recomputed by the next sweep
+            self.replay_skipped += 1
+            return None
+
+    def _adopt(self, filename: str) -> Optional[ResultTable]:
+        """Register one segment file: load, index, ensure a manifest line."""
+        table = self._load_segment(filename)
+        if table is None:
+            return None
+        self._segments[filename] = table
+        for row, key in enumerate(table.keys):
+            key = str(key)
+            if key:
+                self._index[key] = (filename, row)
+        return table
+
+    def _replay(self) -> int:
+        """(Re)scan manifest + directory; returns the number of new segments."""
+        with self._lock:
+            known = set(self._segments)
+            new = 0
+            for filename in self._manifest_files():
+                if filename in known or not (self.directory / filename).exists():
+                    continue
+                if self._adopt(filename) is not None:
+                    known.add(filename)
+                    new += 1
+            # orphan adoption: complete segments whose manifest line was lost
+            # to a crash between replace and append get re-manifested here
+            for path in sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")):
+                if path.name in known:
+                    continue
+                table = self._adopt(path.name)
+                if table is not None:
+                    self._append_manifest(path.name, len(table))
+                    known.add(path.name)
+                    new += 1
+            return new
+
+    def refresh(self) -> int:
+        """Pick up segments sealed by sibling writers; returns how many."""
+        return self._replay()
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def writer(self, *, flush_every: int = 64) -> "ResultWriter":
+        """A streaming writer sealing one segment every ``flush_every`` rows."""
+        return ResultWriter(self, flush_every=flush_every)
+
+    def append(self, key: str, result: CaseResult) -> None:
+        """Convenience append through a store-owned writer (auto-created).
+
+        The store-owned writer flushes every row, so a plain ``append`` is
+        durable immediately; batch producers should hold their own
+        :meth:`writer` with a larger ``flush_every`` instead.
+        """
+        with self._lock:
+            if self._default_writer is None:
+                self._default_writer = self.writer(flush_every=1)
+            writer = self._default_writer
+        writer.append(key, result)
+
+    def flush(self) -> None:
+        """Seal any rows buffered in the store-owned writer."""
+        with self._lock:
+            writer = self._default_writer
+        if writer is not None:
+            writer.flush()
+
+    def _seal_segment(self, table: ResultTable) -> str:
+        """Write one immutable segment + manifest line; returns the filename."""
+        with self._lock:
+            filename = f"{_SEGMENT_PREFIX}{self._writer_tag}-{self._writer_seq:06d}{_SEGMENT_SUFFIX}"
+            self._writer_seq += 1
+        # segment first (atomic replace), manifest line second: a line always
+        # names a complete segment, and a lineless segment is adopted later
+        table.save_npz(self.directory / filename, fsync=self.fsync)
+        with self._lock:
+            self._segments[filename] = table
+            for row, key in enumerate(table.keys):
+                key = str(key)
+                if key:
+                    self._index[key] = (filename, row)
+            self._append_manifest(filename, len(table))
+        return filename
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return str(key) in self._index
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._index))
+
+    def get(self, key: str) -> CaseResult:
+        """The stored result under ``key`` (raises ``KeyError`` if absent)."""
+        with self._lock:
+            filename, row = self._index[str(key)]
+            table = self._segments[filename]
+        return table.result(row)
+
+    def table(self) -> ResultTable:
+        """Every live row as one table (deduplicated by key, last write wins)."""
+        with self._lock:
+            segments = list(self._segments.values())
+        if not segments:
+            return ResultTableBuilder().build()
+        return ResultTable.concat(segments).dedupe_by_key()
+
+    def filter(self, **predicates) -> ResultTable:
+        """Columnar predicate filtering over the live rows (see ``ResultTable.filter``)."""
+        return self.table().filter(**predicates)
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "rows": len(self._index),
+                "segments": len(self._segments),
+                "replay_skipped": self.replay_skipped,
+            }
+
+    # ------------------------------------------------------------------ #
+    # traces
+    # ------------------------------------------------------------------ #
+    def _trace_path(self, key: str) -> Path:
+        return self.directory / "traces" / f"trace-{key}.npz"
+
+    def put_trace(self, key: str, trace: "SimulationTrace") -> None:
+        """Persist one case's trace, delta-encoded (atomic, idempotent)."""
+        path = self._trace_path(str(key))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = encode_trace(trace)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def has_trace(self, key: str) -> bool:
+        return self._trace_path(str(key)).exists()
+
+    def get_trace(self, key: str) -> "SimulationTrace":
+        """Load one case's trace (raises ``KeyError`` if absent)."""
+        path = self._trace_path(str(key))
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return decode_trace(data)
+        except FileNotFoundError:
+            raise KeyError(str(key)) from None
+
+
+class ResultWriter:
+    """Streaming appender: buffers rows, seals a segment per ``flush_every``.
+
+    Thread-safe; use as a context manager so an interrupted sweep still
+    seals whatever completed before the exception flew::
+
+        with store.writer() as w:
+            for key, result in work:
+                w.append(key, result)
+    """
+
+    def __init__(self, store: ResultStore, *, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.store = store
+        self.flush_every = int(flush_every)
+        self._lock = threading.Lock()
+        self._buffer: list[tuple[str, CaseResult]] = []
+        self.rows_written = 0
+
+    def append(self, key: str, result: CaseResult) -> None:
+        with self._lock:
+            self._buffer.append((str(key), result))
+            should_flush = len(self._buffer) >= self.flush_every
+        if should_flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Seal the buffered rows as one segment (no-op when empty)."""
+        with self._lock:
+            rows, self._buffer = self._buffer, []
+        if not rows:
+            return
+        builder = ResultTableBuilder()
+        for key, result in rows:
+            builder.append(result, key=key)
+        self.store._seal_segment(builder.build())
+        self.rows_written += len(rows)
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "ResultWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # flush on the error path too: completed cases of an interrupted
+        # sweep must be durable — that is the whole point of resumability
+        self.close()

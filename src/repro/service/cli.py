@@ -65,16 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--wait", action="store_true", help="poll until the job finishes; exit 1 on failure")
     submit.add_argument("--wait-timeout", type=float, default=600.0, help="--wait deadline (default 600s)")
 
-    query = sub.add_parser("query", help="query one cached result from a running daemon")
+    query = sub.add_parser("query", help="query results from a running daemon (one case or a listing)")
     query.add_argument("--url", default="http://127.0.0.1:8023", help="service base URL")
-    query.add_argument("--problem", required=True, help="problem name, e.g. XENON2")
-    query.add_argument("--ordering", default="metis", help="ordering spec (default metis)")
-    query.add_argument("--strategy", default="memory-full", help="strategy spec, e.g. 'hybrid(alpha=0.3)'")
-    query.add_argument("--nprocs", type=int, default=None, help="processor-count override")
-    query.add_argument("--scale", type=float, default=None, help="scale override")
-    query.add_argument("--split", action="store_true", help="query the split-tree variant")
+    query.add_argument("--problem", default=None, help="problem name, e.g. XENON2 (required for a single-case query)")
+    query.add_argument("--ordering", default=None, help="ordering spec (single-case default: metis)")
+    query.add_argument("--strategy", default=None, help="strategy spec, e.g. 'hybrid(alpha=0.3)'")
+    query.add_argument("--nprocs", type=int, default=None, help="processor-count override / list filter")
+    query.add_argument("--scale", type=float, default=None, help="scale override (single-case only)")
+    query.add_argument("--split", action="store_true", help="the split-tree variant / list filter")
     query.add_argument("--no-compute", action="store_true", help="404 instead of computing on a cache miss")
     query.add_argument("--table", default=None, metavar="NAME", help="fetch a table (e.g. table2) instead of one case")
+    query.add_argument("--list", action="store_true", help="paginated listing from the result store instead of one case")
+    query.add_argument("--limit", type=int, default=None, help="page size of --list (default 50, max 500)")
+    query.add_argument("--cursor", type=int, default=None, help="page offset of --list (from the previous page's next link)")
+    query.add_argument("--fields", default=None, help="comma-separated field projection for --list rows")
     return parser
 
 
@@ -156,10 +160,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     try:
         if args.table:
             response = client.table(args.table)
-        else:
-            response = client.results(
+        elif args.list:
+            response = client.list_results(
                 problem=args.problem,
                 ordering=args.ordering,
+                strategy=args.strategy,
+                nprocs=args.nprocs,
+                split="true" if args.split else None,
+                limit=args.limit,
+                cursor=args.cursor,
+                fields=args.fields,
+            )
+        else:
+            if not args.problem:
+                print("repro query: --problem is required (or use --list / --table)", file=sys.stderr)
+                return 2
+            response = client.result(
+                problem=args.problem,
+                ordering=args.ordering or "metis",
                 strategy=args.strategy,
                 nprocs=args.nprocs,
                 scale=args.scale,

@@ -103,12 +103,52 @@ class ServiceClient:
                 )
             time.sleep(poll)
 
+    def result(self, *, compute: bool | None = None, **params: object) -> QueryResponse:
+        """GET /result — one case, cache-first (problem=... required)."""
+        query = {k: str(v) for k, v in params.items() if v is not None}
+        if compute is not None:
+            query["compute"] = "true" if compute else "false"
+        return self._request("/result?" + urllib.parse.urlencode(query))
+
     def results(self, *, compute: bool | None = None, **params: object) -> QueryResponse:
-        """GET /results with the given query parameters (problem=..., etc.)."""
+        """GET /results in the *legacy* single-result shape (deprecated).
+
+        Kept so old callers keep working; the server answers through its
+        deprecation shim.  New code wants :meth:`result` (one case) or
+        :meth:`list_results` (paginated listing).
+        """
         query = {k: str(v) for k, v in params.items() if v is not None}
         if compute is not None:
             query["compute"] = "true" if compute else "false"
         return self._request("/results?" + urllib.parse.urlencode(query))
+
+    def list_results(
+        self,
+        *,
+        limit: int | None = None,
+        cursor: int | None = None,
+        fields: str | None = None,
+        **filters: object,
+    ) -> QueryResponse:
+        """GET /results — the paginated columnar listing.
+
+        ``filters`` are the column predicates (``problem=``, ``ordering=``,
+        ``strategy=``, ``split=``, ``nprocs=``).  The query string is built
+        in sorted order, so the same logical request is always the same URL
+        (and therefore the same bytes back).
+        """
+        query = {k: str(v) for k, v in filters.items() if v is not None}
+        if limit is not None:
+            query["limit"] = str(limit)
+        if cursor is not None:
+            query["cursor"] = str(cursor)
+        if fields:
+            query["fields"] = fields
+        if "limit" not in query and "cursor" not in query and "fields" not in query:
+            # force the list shape even for bare problem= filters, which the
+            # server would otherwise route through the deprecation shim
+            query["limit"] = str(50)
+        return self._request("/results?" + urllib.parse.urlencode(sorted(query.items())))
 
     def table(self, name: str, **params: object) -> QueryResponse:
         query = {k: str(v) for k, v in params.items() if v not in (None, "")}

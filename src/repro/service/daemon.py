@@ -32,8 +32,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.pipeline.stage import CaseResult, CaseSpec
 from repro.pipeline.store import content_key
+from repro.results import ResultStore, case_key_for
 from repro.service.cache import CacheStore
 from repro.service.jobs import JobQueue, JobRecord, JobSpec
 from repro.service.shards import (
@@ -47,29 +50,20 @@ from repro.specs import parse_spec
 
 __all__ = ["QueryOutcome", "SweepService", "result_key", "case_spec_from_query"]
 
-#: schema version of the cached result payloads; bump to invalidate them all.
+#: schema version of the cached *table* payloads; bump to invalidate them all.
 _RESULT_VERSION = "1"
 
 
 def result_key(engine, spec: CaseSpec) -> str:
     """Content-addressed cache key of one case's *result* payload.
 
-    Derived from the canonical case parameters with the engine defaults
-    bound in (``nprocs``/``scale`` overrides resolve to their effective
-    values), so the same logical query always lands on the same key whether
-    it arrives spelled out or relying on defaults — and two engines with
-    different defaults never collide.
+    The canonical case key (see :mod:`repro.results.keys` — this is a thin
+    delegate kept for backwards compatibility): canonical case parameters
+    with the engine defaults bound in, so the same logical query always
+    lands on the same key whether it arrives spelled out or relying on
+    defaults — and two engines with different defaults never collide.
     """
-    params = {
-        "problem": spec.problem.upper(),
-        "ordering": str(parse_spec(spec.ordering)),
-        "strategy": str(parse_spec(spec.strategy)),
-        "split": bool(spec.split),
-        "nprocs": engine.effective_nprocs(spec),
-        "scale": engine.effective_scale(spec),
-        "split_threshold": spec.split_threshold,
-    }
-    return content_key("result", _RESULT_VERSION, params)
+    return case_key_for(engine, spec)
 
 
 def case_spec_from_query(params: Mapping[str, str]) -> CaseSpec:
@@ -187,6 +181,9 @@ class SweepService:
             max_bytes=max_bytes,
         )
         self.queue = JobQueue(self.data_dir / "journal.jsonl", fsync=journal_fsync)
+        # the columnar store behind GET /results: every finished case —
+        # sweep shard or inline query — is appended here as well as cached
+        self.results = ResultStore(self.data_dir / "store", fsync=journal_fsync)
         if backend is not None:
             self.backend = backend
         elif jobs > 1:
@@ -227,6 +224,7 @@ class SweepService:
             thread.join(timeout=timeout)
         self.backend.close()
         self.session.close()
+        self.results.flush()
 
     def __enter__(self) -> "SweepService":
         return self.start()
@@ -262,7 +260,102 @@ class SweepService:
             result = self.engine.run_case(spec)
         payload = result.to_dict()
         self.cache.put(key, payload)
+        self.results.append(key, result)
         return QueryOutcome(key=key, payload=payload, cached=False)
+
+    #: every query parameter GET /results (the list form) understands.
+    LIST_PARAMS = ("problem", "ordering", "strategy", "split", "nprocs", "limit", "cursor", "fields")
+    #: pagination bounds of the list endpoint.
+    DEFAULT_PAGE = 50
+    MAX_PAGE = 500
+
+    def list_results(self, params: Mapping[str, str]) -> dict[str, object]:
+        """Answer one paginated ``GET /results`` listing from the columnar store.
+
+        Filters (``problem``/``ordering``/``strategy``/``split``/``nprocs``)
+        are canonicalised exactly like single-result queries, evaluated on
+        the store's columns; rows come back in the canonical total order
+        (see :meth:`ResultTable.sort_index`) so the same store state always
+        yields byte-identical pages.  ``limit``/``cursor`` paginate;
+        ``fields`` projects each row onto a comma-separated subset.  The
+        payload carries a ready-made ``next`` link (or ``None`` on the last
+        page).  Raises ``ValueError`` with a client-presentable message on
+        bad input.
+        """
+        unknown = set(params) - set(self.LIST_PARAMS)
+        if unknown:
+            raise ValueError(
+                f"unknown query parameter(s) {sorted(unknown)}; expected {sorted(self.LIST_PARAMS)}"
+            )
+
+        def _int(name: str, default: int) -> int:
+            raw = params.get(name)
+            if raw is None or not raw.strip():
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ValueError(f"query parameter {name!r} expects int, got {raw!r}") from None
+
+        limit = _int("limit", self.DEFAULT_PAGE)
+        if not 1 <= limit <= self.MAX_PAGE:
+            raise ValueError(f"limit must be in [1, {self.MAX_PAGE}], got {limit}")
+        cursor = _int("cursor", 0)
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        fields = None
+        if params.get("fields"):
+            fields = [f.strip() for f in str(params["fields"]).split(",") if f.strip()]
+
+        filters: dict[str, object] = {}
+        if params.get("problem"):
+            filters["problem"] = str(params["problem"]).strip().upper()
+        for name in ("ordering", "strategy"):
+            if params.get(name):
+                filters[name] = str(parse_spec(str(params[name])))
+        if params.get("split") is not None:
+            lowered = str(params["split"]).strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                filters["split"] = True
+            elif lowered in ("0", "false", "no", "off"):
+                filters["split"] = False
+            else:
+                raise ValueError(f"query parameter 'split' expects a boolean, got {params['split']!r}")
+        if params.get("nprocs"):
+            filters["nprocs"] = _int("nprocs", 0)
+
+        self.results.flush()
+        self.results.refresh()
+        table = self.results.table()
+        if filters:
+            table = table.filter(**filters)
+        table = table.sorted()
+        total = len(table)
+        stop = min(cursor + limit, total)
+        page = table.take(np.arange(cursor, stop, dtype=np.int64))
+        rows = page.to_dicts(fields=fields)
+
+        def _link(next_cursor: int) -> str:
+            from urllib.parse import urlencode
+
+            query: dict[str, object] = {
+                name: params[name] for name in ("problem", "ordering", "strategy", "split", "nprocs")
+                if params.get(name)
+            }
+            query["limit"] = limit
+            query["cursor"] = next_cursor
+            if fields:
+                query["fields"] = ",".join(fields)
+            return "/results?" + urlencode(sorted(query.items()))
+
+        return {
+            "results": rows,
+            "count": len(rows),
+            "total": total,
+            "cursor": cursor,
+            "limit": limit,
+            "next": _link(stop) if stop < total else None,
+        }
 
     def table(self, name: str, *, problems: Sequence[str] = (), orderings: Sequence[str] = ()) -> QueryOutcome:
         """One of the paper's tables, cache-first (same discipline as results)."""
@@ -318,6 +411,7 @@ class SweepService:
             "jobs": self.queue.counts(),
             "recovered_jobs": self.queue.recovered,
             "cache": self.cache.stats().to_dict(),
+            "results": self.results.stats(),
             "stage_runs": dict(self.engine.stage_runs),
         }
 
@@ -367,6 +461,7 @@ class SweepService:
     def _store_result(self, spec: CaseSpec, result: CaseResult) -> str:
         key = result_key(self.engine, spec)
         self.cache.put(key, result.to_dict())
+        self.results.append(key, result)
         return key
 
     def _run_shard_with_retry(

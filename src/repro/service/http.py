@@ -4,23 +4,34 @@ Stdlib only (:class:`http.server.ThreadingHTTPServer`) — no new hard
 dependencies.  Endpoints:
 
 ========================  ==========================================================
-``GET  /healthz``          liveness + queue/cache/engine counters
+``GET  /healthz``          liveness + queue/cache/store/engine counters
 ``POST /jobs``             submit a sweep job (JSON body: a ``JobSpec`` dict)
 ``GET  /jobs``             list jobs (most recent first)
 ``GET  /jobs/<id>``        one job's status/progress
-``GET  /results``          one case result, cache-first (query params:
-                           ``problem`` required; ``ordering``, ``strategy``,
-                           ``nprocs``, ``scale``, ``split``,
+``GET  /results``          paginated listing from the columnar result store
+                           (filters ``problem``/``ordering``/``strategy``/
+                           ``split``/``nprocs``; ``limit``/``cursor``
+                           paginate; ``fields`` projects columns; the body
+                           carries a ``next`` link)
+``GET  /result``           one case result, cache-first, computed on miss
+                           (query params: ``problem`` required; ``ordering``,
+                           ``strategy``, ``nprocs``, ``scale``, ``split``,
                            ``split_threshold``, ``compute=false`` optional)
 ``GET  /tables/<name>``    one of the paper's tables, cache-first
                            (``problems``/``orderings`` comma-list params)
 ========================  ==========================================================
 
-Responses are JSON with sorted keys and fixed separators, so the same
-logical answer is always the same bytes — a cached re-query is
-byte-identical to the response that populated the cache.  Whether the cache
-answered is reported out-of-band in the ``X-Repro-Cache: hit|miss`` header
-(keeping it out of the body is what makes the bytes repeatable).
+Backwards compatibility: ``GET /results`` used to be today's ``/result``.
+A request to ``/results`` with no pagination parameter but a ``problem=``
+or ``compute=`` one is still answered in the old single-result shape, with
+``Deprecation``/``X-Repro-Deprecated`` headers pointing at ``/result``.
+
+Responses are JSON with sorted keys and fixed separators
+(:func:`repro.serialize.canonical_json`), so the same logical answer is
+always the same bytes — a cached re-query, a replayed store or a resumed
+sweep produces byte-identical pages.  Whether the cache answered is
+reported out-of-band in the ``X-Repro-Cache: hit|miss`` header (keeping it
+out of the body is what makes the bytes repeatable).
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.serialize import canonical_json
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.daemon import SweepService
 
@@ -43,11 +56,6 @@ _MAX_BODY = 4 * 1024 * 1024
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_.\-]+)$")
 _TABLE_PATH = re.compile(r"^/tables/(?P<name>[A-Za-z0-9_.\-]+)$")
-
-
-def canonical_json(payload: object) -> bytes:
-    """The one serialization used for every response body (byte-stable)."""
-    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode()
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -130,7 +138,9 @@ class _Handler(BaseHTTPRequestHandler):
                     return
                 self._send(200, record.to_dict())
             elif path == "/results":
-                self._results()
+                self._results_list()
+            elif path == "/result":
+                self._result()
             elif match := _TABLE_PATH.match(path):
                 self._table(match.group("name"))
             else:
@@ -170,7 +180,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(202, record.to_dict(), headers={"Location": f"/jobs/{record.id}"})
 
     # ------------------------------------------------------------------ #
-    def _results(self) -> None:
+    def _result(self, *, deprecated: bool = False) -> None:
         params = self._params()
         compute = params.pop("compute", "true").strip().lower() not in ("0", "false", "no")
         try:
@@ -178,11 +188,24 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError:
             self._error(404, "result not cached (and compute=false was requested)")
             return
-        self._send(
-            200,
-            {"key": outcome.key, "result": outcome.payload},
-            headers={"X-Repro-Cache": "hit" if outcome.cached else "miss"},
+        headers = {"X-Repro-Cache": "hit" if outcome.cached else "miss"}
+        if deprecated:
+            headers["Deprecation"] = "true"
+            headers["X-Repro-Deprecated"] = "single-result lookup moved to GET /result"
+        self._send(200, {"key": outcome.key, "result": outcome.payload}, headers=headers)
+
+    def _results_list(self) -> None:
+        params = self._params()
+        # legacy shim: the old single-result /results request carries no
+        # pagination parameter but a problem= (or compute=) one — keep
+        # answering it in the old shape, flagged as deprecated
+        legacy = not ({"limit", "cursor", "fields"} & set(params)) and (
+            "problem" in params or "compute" in params
         )
+        if legacy:
+            self._result(deprecated=True)
+            return
+        self._send(200, self.server.service.list_results(params))
 
     def _table(self, name: str) -> None:
         params = self._params()

@@ -30,11 +30,12 @@ import os
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.pipeline.stage import CaseSpec
+from repro.serialize import decode_fields
 from repro.specs import SweepSpec
 
 __all__ = [
@@ -119,9 +120,7 @@ class JobSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
         known = {"sweep", "cases", "priority", "max_attempts", "timeout_s"}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown JobSpec fields {sorted(unknown)}; expected {sorted(known)}")
+        data = decode_fields("job_spec", data, known, label="JobSpec", strict=True)
         sweep = data.get("sweep")
         cases = data.get("cases") or ()
         if not isinstance(cases, Sequence) or isinstance(cases, (str, bytes)):
@@ -175,7 +174,10 @@ class JobRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "JobRecord":
-        payload = dict(data)
+        # tolerant: a journal written by a newer daemon (extra bookkeeping
+        # fields) still replays on this build
+        known = {f.name for f in fields(cls)}
+        payload = decode_fields("job_record", data, known, label="JobRecord")
         payload["spec"] = JobSpec.from_dict(payload["spec"])  # type: ignore[arg-type]
         payload["result_keys"] = list(payload.get("result_keys") or ())
         record = cls(**payload)  # type: ignore[arg-type]

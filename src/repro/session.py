@@ -38,6 +38,7 @@ from repro.pipeline import (
     ProgressEvent,
     SweepExecutor,
 )
+from repro.results import CaseResultView, ResultStore, ResultTable, case_key_for
 from repro.runtime import SimulationConfig
 from repro.specs import SweepSpec
 
@@ -165,6 +166,7 @@ class Session:
         *,
         jobs: int | None = None,
         batch: bool = False,
+        on_result: Optional[Callable[[int, CaseSpec, CaseResult], None]] = None,
     ) -> list[CaseResult]:
         """Run explicit cases (serially or across a process pool, see ``jobs``).
 
@@ -178,17 +180,25 @@ class Session:
         geometry and view bank (:meth:`AnalysisPipeline.run_cases_batched`) —
         the fastest path for strategy sweeps over few analyses.  ``jobs`` is
         ignored in batch mode.
+
+        ``on_result(index, spec, result)`` is called in this process as each
+        case completes (execution order); in batch mode the whole batch
+        completes together, so the callback fires after it, in input order.
         """
         specs = [_as_spec(case) for case in cases]
         if batch:
-            return self.engine.run_cases_batched(specs)
+            results = self.engine.run_cases_batched(specs)
+            if on_result is not None:
+                for i, (spec, result) in enumerate(zip(specs, results)):
+                    on_result(i, spec, result)
+            return results
         jobs = self.jobs if jobs is None else int(jobs)
         if jobs == self.jobs:
             if self._executor is None:
                 self._executor = SweepExecutor(self.engine, jobs=jobs, progress=self.progress)
-            return self._executor.run(specs)
+            return self._executor.run(specs, on_result=on_result)
         with SweepExecutor(self.engine, jobs=jobs, progress=self.progress) as executor:
-            return executor.run(specs)
+            return executor.run(specs, on_result=on_result)
 
     def sweep(
         self,
@@ -196,8 +206,9 @@ class Session:
         *,
         jobs: int | None = None,
         batch: bool = False,
+        store: "ResultStore | str | os.PathLike | None" = None,
         **axes,
-    ) -> list[CaseResult]:
+    ) -> CaseResultView:
         """Run a declarative grid and return its results in grid order.
 
         Accepts a :class:`~repro.specs.SweepSpec`, its dict form, or the
@@ -212,6 +223,18 @@ class Session:
         the grid in-process with per-analysis batching (see
         :meth:`run_cases`) — usually the fastest option when the grid sweeps
         many strategies over few problems.
+
+        ``store`` (a :class:`~repro.results.ResultStore` or its directory)
+        makes the sweep *resumable*: cases whose canonical key is already in
+        the store are answered from it without touching the engine, and every
+        freshly computed case streams into the store the moment it completes
+        — interrupt the sweep anywhere and a rerun recomputes only what is
+        missing.
+
+        The return value is a :class:`~repro.results.CaseResultView`, a lazy
+        sequence over a columnar :class:`~repro.results.ResultTable` that
+        iterates, indexes and slices exactly like the ``list[CaseResult]``
+        this method used to return (``.table`` exposes the columns).
         """
         if spec is None:
             sweep_spec = SweepSpec(**axes)
@@ -219,7 +242,44 @@ class Session:
             if axes:
                 raise TypeError("pass either a SweepSpec/dict or keyword axes, not both")
             sweep_spec = spec if isinstance(spec, SweepSpec) else SweepSpec.from_dict(spec)
-        return self.run_cases(sweep_spec.expand(), jobs=jobs, batch=batch)
+        specs = sweep_spec.expand()
+        keys = [case_key_for(self.engine, s) for s in specs]
+
+        if store is None:
+            results = self.run_cases(specs, jobs=jobs, batch=batch)
+            table = ResultTable.from_results(results, keys=keys)
+            return CaseResultView(table, computed=len(results), skipped=0)
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        cached: dict[str, CaseResult] = {}
+        pending_specs: list[CaseSpec] = []
+        pending_keys: list[str] = []
+        seen: set[str] = set()
+        for case_spec, key in zip(specs, keys):
+            if key in store:
+                if key not in cached:
+                    cached[key] = store.get(key)
+            elif key not in seen:
+                # grids can repeat a logical case (e.g. the same strategy
+                # spelled two canonically-equal ways): compute it once
+                seen.add(key)
+                pending_specs.append(case_spec)
+                pending_keys.append(key)
+        computed: dict[str, CaseResult] = {}
+        if pending_specs:
+            # flush_every=1: each completed case is durable before the next
+            # one starts, so an interrupt loses at most the case in flight
+            with store.writer(flush_every=1) as writer:
+
+                def _persist(index: int, _spec: CaseSpec, result: CaseResult) -> None:
+                    writer.append(pending_keys[index], result)
+                    computed[pending_keys[index]] = result
+
+                self.run_cases(pending_specs, jobs=jobs, batch=batch, on_result=_persist)
+        ordered = [cached[key] if key in cached else computed[key] for key in keys]
+        table = ResultTable.from_results(ordered, keys=keys)
+        return CaseResultView(table, computed=len(computed), skipped=len(cached))
 
     def compare(
         self,

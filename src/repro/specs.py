@@ -312,9 +312,9 @@ class SweepSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+    def from_dict(cls, data: Mapping[str, object], *, strict: bool = True) -> "SweepSpec":
+        from repro.serialize import decode_fields
+
         known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown SweepSpec fields {sorted(unknown)}; expected {sorted(known)}")
-        return cls(**data)  # type: ignore[arg-type]
+        payload = decode_fields("sweep_spec", data, known, label="SweepSpec", strict=strict)
+        return cls(**payload)  # type: ignore[arg-type]

@@ -1,0 +1,455 @@
+"""Tests of the columnar result store: table, serialization, store, traces.
+
+Covers the :mod:`repro.results` package layer by layer — exact
+``CaseResult`` round-trips through the columns, the versioned
+serialization policy of :mod:`repro.serialize`, the append-only
+:class:`ResultStore` (replay, torn lines, torn segments, orphan adoption)
+and the delta-encoded trace codec.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pipeline.stage import CaseResult, CaseSpec
+from repro.results import (
+    CaseResultView,
+    RESULT_COLUMNS,
+    ResultStore,
+    ResultTable,
+    ResultTableBuilder,
+    case_key,
+    decode_trace,
+    encode_trace,
+)
+from repro.runtime.trace import SimulationTrace
+from repro.serialize import (
+    canonical_json,
+    check_schema,
+    decode_fields,
+    parse_schema_tag,
+    schema_tag,
+    with_schema,
+)
+
+
+def make_result(i: int, *, problem: str = "XENON2", nprocs: int = 4, key_seed: float = 0.0) -> CaseResult:
+    """A synthetic, deterministic CaseResult (no engine run needed)."""
+    per_proc = np.linspace(1.0 + i + key_seed, 100.0 + i, nprocs)
+    return CaseResult(
+        problem=problem,
+        ordering="metis" if i % 2 == 0 else "amd",
+        strategy="memory-full" if i % 3 == 0 else "mumps-workload",
+        split=bool(i % 2),
+        nprocs=nprocs,
+        max_peak_stack=float(per_proc.max()),
+        avg_peak_stack=float(per_proc.mean()),
+        sum_peak_stack=float(per_proc.sum()),
+        total_time=0.001 * (i + 1) + key_seed,
+        total_factor_entries=1000.0 * (i + 1),
+        per_proc_peak_stack=per_proc,
+        nodes=50 + i,
+        nodes_split=i % 3,
+        messages=200 + 7 * i,
+    )
+
+
+def assert_results_equal(a: CaseResult, b: CaseResult) -> None:
+    da, db = a.to_dict(), b.to_dict()
+    assert da == db
+
+
+# --------------------------------------------------------------------------- #
+# repro.serialize — the one serialization policy
+# --------------------------------------------------------------------------- #
+class TestSerialize:
+    def test_canonical_json_is_byte_stable(self):
+        a = canonical_json({"b": 1, "a": [1, 2]})
+        b = canonical_json({"a": [1, 2], "b": 1})
+        assert a == b == b'{"a":[1,2],"b":1}\n'
+
+    def test_schema_tag_roundtrip(self):
+        tag = schema_tag("case_result")
+        assert parse_schema_tag(tag) == ("case_result", 1)
+        with pytest.raises(ValueError, match="malformed schema tag"):
+            parse_schema_tag("no-version-here")
+
+    def test_check_schema_accepts_absent_and_current(self):
+        check_schema("case_spec", {})  # pre-schema payloads keep loading
+        check_schema("case_spec", with_schema("case_spec", {"problem": "X"}))
+
+    def test_check_schema_rejects_wrong_kind_and_newer_version(self):
+        with pytest.raises(ValueError, match="expected a 'case_spec' payload"):
+            check_schema("case_spec", {"schema": "job_spec/v1"})
+        with pytest.raises(ValueError, match="newer than this build"):
+            check_schema("case_spec", {"schema": "case_spec/v999"})
+
+    def test_decode_fields_strict_raises_historical_message(self):
+        with pytest.raises(ValueError, match=r"unknown CaseSpec fields \['nope'\]"):
+            decode_fields(
+                "case_spec", {"problem": "X", "nope": 1}, {"problem"},
+                label="CaseSpec", strict=True,
+            )
+
+    def test_decode_fields_tolerant_drops_unknown_and_schema(self):
+        payload = with_schema("case_result", {"problem": "X", "future_field": 7})
+        decoded = decode_fields("case_result", payload, {"problem"}, strict=False)
+        assert decoded == {"problem": "X"}
+
+    def test_case_spec_from_dict_is_strict_by_default(self):
+        payload = {"problem": "XENON2", "ordering": "metis", "bogus": True}
+        with pytest.raises(ValueError, match="unknown CaseSpec fields"):
+            CaseSpec.from_dict(payload)
+        spec = CaseSpec.from_dict(payload, strict=False)
+        assert spec.problem == "XENON2"
+
+    def test_case_result_from_dict_tolerates_newer_writers(self):
+        result = make_result(0)
+        payload = result.to_dict()
+        payload["added_in_v9"] = "whatever"
+        clone = CaseResult.from_dict(payload)
+        assert_results_equal(result, clone)
+
+
+# --------------------------------------------------------------------------- #
+# Canonical case keys
+# --------------------------------------------------------------------------- #
+class TestCaseKeys:
+    def test_equal_logical_cases_share_a_key(self):
+        a = case_key(CaseSpec("xenon2", "metis", "hybrid(alpha=0.3)"), nprocs=8, scale=0.2)
+        b = case_key(CaseSpec("XENON2", "metis", "hybrid( alpha = 0.3 )"), nprocs=8, scale=0.2)
+        assert a == b
+
+    def test_parameters_separate_keys(self):
+        base = dict(nprocs=8, scale=0.2)
+        spec = CaseSpec("XENON2", "metis", "memory-full")
+        assert case_key(spec, **base) != case_key(spec, nprocs=16, scale=0.2)
+        assert case_key(spec, **base) != case_key(spec, nprocs=8, scale=0.4)
+        assert case_key(spec, **base) != case_key(
+            CaseSpec("XENON2", "metis", "memory-full", split=True), **base
+        )
+
+    def test_matches_service_result_key(self):
+        from repro.pipeline.engine import AnalysisPipeline
+        from repro.service.daemon import result_key
+
+        engine = AnalysisPipeline(nprocs=4, scale=0.2, cache_dir="")
+        spec = CaseSpec("XENON2", "metis", "memory-full")
+        assert result_key(engine, spec) == case_key(spec, nprocs=4, scale=0.2)
+
+
+# --------------------------------------------------------------------------- #
+# ResultTable
+# --------------------------------------------------------------------------- #
+class TestResultTable:
+    def test_roundtrip_is_exact(self):
+        results = [make_result(i, nprocs=3 + i % 3) for i in range(7)]
+        table = ResultTable.from_results(results, keys=[f"k{i}" for i in range(7)])
+        assert len(table) == 7
+        for i, original in enumerate(results):
+            assert_results_equal(table.result(i), original)
+        assert_results_equal(table.result(-1), results[-1])
+
+    def test_column_and_per_proc_access(self):
+        results = [make_result(i) for i in range(4)]
+        table = ResultTable.from_results(results)
+        assert list(table.column("problem")) == ["XENON2"] * 4
+        assert table.column("nprocs").dtype == np.int64
+        np.testing.assert_array_equal(table.per_proc(2), results[2].per_proc_peak_stack)
+        # per_proc returns a copy: mutating it must not poison the table
+        table.per_proc(2)[:] = -1.0
+        np.testing.assert_array_equal(table.per_proc(2), results[2].per_proc_peak_stack)
+        with pytest.raises(KeyError, match="no such column"):
+            table.column("bogus")
+
+    def test_to_dicts_matches_case_result_to_dict(self):
+        results = [make_result(i) for i in range(3)]
+        table = ResultTable.from_results(results)
+        rows = table.to_dicts(fields=[c for c in RESULT_COLUMNS if c != "key"])
+        assert rows == [r.to_dict() for r in results]
+
+    def test_to_dicts_projection_and_unknown_field(self):
+        table = ResultTable.from_results([make_result(0)], keys=["k0"])
+        (row,) = table.to_dicts(fields=["problem", "key", "nprocs"])
+        assert row == {"problem": "XENON2", "key": "k0", "nprocs": 4}
+        with pytest.raises(ValueError, match="unknown result field"):
+            table.to_dicts(fields=["problem", "oops"])
+
+    def test_filter_on_columns(self):
+        results = [make_result(i, problem="XENON2" if i < 4 else "PRE2") for i in range(8)]
+        table = ResultTable.from_results(results)
+        assert len(table.filter(problem="PRE2")) == 4
+        assert len(table.filter(problem=["XENON2", "PRE2"])) == 8
+        assert len(table.filter(problem="PRE2", split=True)) == 2
+        assert len(table.filter(nprocs=4)) == 8
+        assert len(table.filter(nprocs=64)) == 0
+        assert len(table.filter(ordering="metis", strategy="memory-full")) > 0
+
+    def test_sorted_is_insertion_order_independent(self):
+        results = [make_result(i, nprocs=2 + i) for i in range(6)]
+        keys = [f"key-{i}" for i in range(6)]
+        forward = ResultTable.from_results(results, keys=keys).sorted()
+        backward = ResultTable.from_results(results[::-1], keys=keys[::-1]).sorted()
+        assert forward.to_dicts() == backward.to_dicts()
+
+    def test_dedupe_by_key_keeps_last_write(self):
+        old, new = make_result(0), make_result(0, key_seed=10.0)
+        table = ResultTable.from_results(
+            [old, make_result(1), new], keys=["dup", "other", "dup"]
+        )
+        deduped = table.dedupe_by_key()
+        assert len(deduped) == 2
+        by_key = {str(k): i for i, k in enumerate(deduped.keys)}
+        assert_results_equal(deduped.result(by_key["dup"]), new)
+
+    def test_dedupe_never_drops_empty_keys(self):
+        table = ResultTable.from_results([make_result(i) for i in range(3)])  # all keys ""
+        assert len(table.dedupe_by_key()) == 3
+
+    def test_concat_merges_vocabularies(self):
+        a = ResultTable.from_results([make_result(0, problem="XENON2")], keys=["a"])
+        b = ResultTable.from_results([make_result(1, problem="PRE2")], keys=["b"])
+        merged = ResultTable.concat([a, b])
+        assert list(merged.column("problem")) == ["XENON2", "PRE2"]
+        assert list(merged.keys) == ["a", "b"]
+
+    def test_npz_roundtrip(self, tmp_path):
+        results = [make_result(i, nprocs=2 + i % 4) for i in range(9)]
+        table = ResultTable.from_results(results, keys=[f"k{i}" for i in range(9)])
+        path = tmp_path / "table.npz"
+        table.save_npz(path)
+        loaded = ResultTable.load_npz(path)
+        assert loaded.to_dicts() == table.to_dicts()
+        # no temp sibling left behind
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_npz_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez_compressed(path, schema=np.asarray("trace/v1"))
+        with pytest.raises(ValueError, match="expected a 'result_table' payload"):
+            ResultTable.load_npz(path)
+
+    def test_parquet_gate_without_pyarrow(self, tmp_path):
+        try:
+            import pyarrow  # noqa: F401
+
+            pytest.skip("pyarrow installed: the gate does not trigger")
+        except ImportError:
+            pass
+        table = ResultTable.from_results([make_result(0)])
+        with pytest.raises(RuntimeError, match="optional 'pyarrow' package"):
+            table.to_parquet(tmp_path / "t.parquet")
+
+    def test_empty_builder_builds_empty_table(self):
+        table = ResultTableBuilder().build()
+        assert len(table) == 0
+        assert table.to_dicts() == []
+        assert len(table.sorted()) == 0
+        assert len(table.filter(problem="XENON2")) == 0
+
+
+class TestCaseResultView:
+    """The list-contract regression: sweep callers must notice nothing."""
+
+    def make_view(self, n: int = 5) -> tuple[CaseResultView, list[CaseResult]]:
+        results = [make_result(i) for i in range(n)]
+        return ResultTable.from_results(results).view(), results
+
+    def test_len_index_negative_and_out_of_range(self):
+        view, results = self.make_view()
+        assert len(view) == 5
+        assert_results_equal(view[0], results[0])
+        assert_results_equal(view[-1], results[-1])
+        with pytest.raises(IndexError):
+            view[5]
+
+    def test_slice_returns_list(self):
+        view, results = self.make_view()
+        sliced = view[1:4]
+        assert isinstance(sliced, list) and len(sliced) == 3
+        for got, expected in zip(sliced, results[1:4]):
+            assert_results_equal(got, expected)
+
+    def test_iteration_and_zip(self):
+        view, results = self.make_view()
+        for got, expected in zip(view, results):
+            assert_results_equal(got, expected)
+        assert [r.nodes for r in view] == [r.nodes for r in results]
+
+
+# --------------------------------------------------------------------------- #
+# ResultStore
+# --------------------------------------------------------------------------- #
+class TestResultStore:
+    def test_append_get_contains_len(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        result = make_result(0)
+        store.append("k0", result)
+        assert "k0" in store and "nope" not in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["k0"]
+        assert_results_equal(store.get("k0"), result)
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_reopen_replays_everything(self, tmp_path):
+        results = {f"k{i}": make_result(i) for i in range(5)}
+        store = ResultStore(tmp_path / "store", fsync=False)
+        for key, result in results.items():
+            store.append(key, result)
+        reopened = ResultStore(tmp_path / "store", fsync=False)
+        assert len(reopened) == 5
+        assert reopened.replay_skipped == 0
+        for key, result in results.items():
+            assert_results_equal(reopened.get(key), result)
+
+    def test_last_write_wins_across_segments(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        store.append("dup", make_result(0))
+        newer = make_result(0, key_seed=42.0)
+        store.append("dup", newer)
+        assert len(store) == 1
+        assert_results_equal(store.get("dup"), newer)
+        table = store.table()
+        assert len(table) == 1
+        reopened = ResultStore(tmp_path / "store", fsync=False)
+        assert_results_equal(reopened.get("dup"), newer)
+
+    def test_writer_batches_rows_into_segments(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        with store.writer(flush_every=4) as writer:
+            for i in range(10):
+                writer.append(f"k{i}", make_result(i))
+        assert writer.rows_written == 10
+        assert len(store) == 10
+        # 4 + 4 + 2 on close
+        assert store.stats()["segments"] == 3
+
+    def test_writer_flushes_on_the_error_path(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        with pytest.raises(RuntimeError, match="interrupted"):
+            with store.writer(flush_every=100) as writer:
+                writer.append("done-before-crash", make_result(0))
+                raise RuntimeError("interrupted")
+        assert "done-before-crash" in store
+        assert "done-before-crash" in ResultStore(tmp_path / "store", fsync=False)
+
+    def test_writer_rejects_bad_flush_every(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        with pytest.raises(ValueError, match="flush_every"):
+            store.writer(flush_every=0)
+
+    def test_torn_manifest_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        store.append("k0", make_result(0))
+        # simulate a crash mid-append: a half-written trailing line
+        with open(store.manifest_path, "ab") as fh:
+            fh.write(b'{"op":"segment","file":"seg-trunc')
+        reopened = ResultStore(tmp_path / "store", fsync=False)
+        assert len(reopened) == 1
+        assert_results_equal(reopened.get("k0"), make_result(0))
+
+    def test_torn_segment_is_counted_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        store.append("k0", make_result(0))
+        store.append("k1", make_result(1))
+        # corrupt one segment file in place
+        victim = next(iter(sorted(p.name for p in (tmp_path / "store").glob("seg-*.npz"))))
+        (tmp_path / "store" / victim).write_bytes(b"not an npz at all")
+        reopened = ResultStore(tmp_path / "store", fsync=False)
+        assert reopened.replay_skipped >= 1
+        assert len(reopened) == 1  # the surviving row is still served
+        assert reopened.stats()["replay_skipped"] >= 1
+
+    def test_orphan_segment_is_adopted_and_manifested(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ResultStore(directory, fsync=False)
+        store.append("manifested", make_result(0))
+        # a complete segment whose manifest line was lost to a crash
+        orphan = ResultTable.from_results([make_result(1)], keys=["orphan"])
+        orphan.save_npz(directory / "seg-deadbeef-000000.npz")
+        reopened = ResultStore(directory, fsync=False)
+        assert "orphan" in reopened and "manifested" in reopened
+        # adoption re-manifests: a third open finds it via the manifest
+        manifest = [
+            json.loads(line)["file"]
+            for line in (directory / "manifest.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        assert "seg-deadbeef-000000.npz" in manifest
+
+    def test_refresh_picks_up_sibling_writers(self, tmp_path):
+        directory = tmp_path / "store"
+        reader = ResultStore(directory, fsync=False)
+        assert len(reader) == 0
+        sibling = ResultStore(directory, fsync=False)
+        sibling.append("from-sibling", make_result(0))
+        assert "from-sibling" not in reader
+        assert reader.refresh() == 1
+        assert_results_equal(reader.get("from-sibling"), make_result(0))
+
+    def test_filter_and_table_dedupe(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        for i in range(6):
+            store.append(f"k{i}", make_result(i, problem="XENON2" if i < 3 else "PRE2"))
+        assert len(store.filter(problem="PRE2")) == 3
+        assert len(store.table()) == 6
+
+
+class TestTraces:
+    def make_trace(self, nprocs: int = 3, n: int = 50) -> SimulationTrace:
+        rng = np.random.default_rng(7)
+        blocks = []
+        for p in range(nprocs):
+            times = np.cumsum(rng.uniform(0.0, 0.01, n + p))
+            stack = np.abs(np.cumsum(rng.normal(0.0, 5.0, n + p)))
+            factors = np.cumsum(rng.uniform(0.0, 3.0, n + p))
+            blocks.append(np.stack((times, stack, factors)))
+        return SimulationTrace.from_blocks(blocks)
+
+    def test_codec_roundtrip_close_to_ulp(self):
+        trace = self.make_trace()
+        payload = encode_trace(trace)
+        assert str(payload["schema"]) == "trace/v1"
+        decoded = decode_trace(payload)
+        assert decoded.nprocs == trace.nprocs
+        for p in range(trace.nprocs):
+            np.testing.assert_allclose(decoded.times[p], trace.times[p], rtol=1e-12)
+            np.testing.assert_allclose(decoded.stack[p], trace.stack[p], rtol=1e-12)
+            np.testing.assert_allclose(decoded.factors[p], trace.factors[p], rtol=1e-12)
+
+    def test_empty_trace_roundtrip(self):
+        trace = SimulationTrace.from_blocks([])
+        decoded = decode_trace(encode_trace(trace))
+        assert decoded.nprocs == 0
+
+    def test_store_trace_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=False)
+        trace = self.make_trace()
+        assert not store.has_trace("case-1")
+        store.put_trace("case-1", trace)
+        assert store.has_trace("case-1")
+        loaded = store.get_trace("case-1")
+        np.testing.assert_allclose(loaded.stack[0], trace.stack[0], rtol=1e-12)
+        with pytest.raises(KeyError):
+            store.get_trace("absent")
+
+    def test_deltas_beat_json_on_disk(self, tmp_path):
+        """The headline claim: delta + deflate is much smaller than JSON."""
+        trace = self.make_trace(nprocs=4, n=2000)
+        store = ResultStore(tmp_path / "store", fsync=False)
+        store.put_trace("big", trace)
+        npz_bytes = store._trace_path("big").stat().st_size
+        json_bytes = len(
+            json.dumps(
+                {
+                    "times": [t.tolist() for t in trace.times],
+                    "stack": [s.tolist() for s in trace.stack],
+                    "factors": [f.tolist() for f in trace.factors],
+                }
+            ).encode()
+        )
+        assert npz_bytes < json_bytes / 2
