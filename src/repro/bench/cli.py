@@ -26,6 +26,12 @@ functions by cumulative time (also embedded in ``--format json`` output)::
 List the available suites::
 
     python -m repro bench list --format json
+
+Every ``--save`` also appends the run into the bench history
+(``benchmarks/baselines/history/``, disable with ``--no-history``); list a
+case's timing trajectory across the recorded runs::
+
+    python -m repro bench history --case pipeline/full_sweep --limit 10
 """
 
 from __future__ import annotations
@@ -67,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the result JSON (bare --save picks benchmarks/baselines/BENCH_<host>.json)",
     )
     run.add_argument(
+        "--history", default=None, metavar="DIR",
+        help="with --save: also append the run to this bench history "
+        "(default benchmarks/baselines/history/; see 'repro bench history')",
+    )
+    run.add_argument(
+        "--no-history", action="store_true",
+        help="with --save: skip the bench-history append",
+    )
+    run.add_argument(
         "--baseline", default=None, metavar="PATH",
         help="compare against this baseline after running (report appended to the output)",
     )
@@ -95,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list the available suites")
     lst.add_argument("--format", choices=("json", "csv", "md"), default="md", help="stdout format (default md)")
+
+    hist = sub.add_parser("history", help="list the recorded timing trajectory per case")
+    hist.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="history directory (default benchmarks/baselines/history/)",
+    )
+    hist.add_argument("--case", default=None, metavar="KEY", help="restrict to one case key (suite/name)")
+    hist.add_argument("--limit", type=int, default=None, help="only the most recent N points")
+    hist.add_argument("--format", choices=("json", "csv", "md"), default="md", help="stdout format (default md)")
     return parser
 
 
@@ -312,6 +336,12 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         path = default_baseline_path() if args.save == "auto" else args.save
         run.save(path)
         print(f"saved {len(run.results)} result(s) to {path}", file=sys.stderr)
+        if not args.no_history:
+            from repro.bench.history import BenchHistory, default_history_dir
+
+            history = BenchHistory(args.history or default_history_dir())
+            appended = history.append(run)
+            print(f"appended run to bench history at {appended}", file=sys.stderr)
     status = 0
     if run.errors:
         for result in run.errors:
@@ -320,6 +350,44 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if report is not None and report.failed(max_regression=args.max_regression):
         status = 1
     return status
+
+
+def _cmd_history(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.bench.history import BenchHistory, default_history_dir
+
+    if args.limit is not None and args.limit < 1:
+        parser.error("--limit must be >= 1")
+    history = BenchHistory(args.dir or default_history_dir())
+    points = history.trajectory(args.case)
+    if args.limit is not None:
+        points = points[-args.limit:]
+    if args.format == "json":
+        print(json.dumps([p.to_dict() for p in points], indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            p.timestamp,
+            p.host,
+            p.key,
+            _fmt_seconds(p.best),
+            _fmt_seconds(p.mean),
+            str(p.repeats),
+            "ERROR" if p.error else "ok",
+            p.file,
+        )
+        for p in points
+    ]
+    title = f"bench history — {args.case}" if args.case else "bench history"
+    print(
+        _render_table(
+            ("timestamp", "host", "case", "best_s", "mean_s", "repeats", "status", "file"),
+            rows,
+            args.format,
+            title=title,
+            footer=f"{len(points)} point(s) across {len(history)} recorded run(s)",
+        )
+    )
+    return 0
 
 
 def _cmd_compare(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -341,6 +409,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         print(render_suites(args.format))
         return 0
+    if args.command == "history":
+        return _cmd_history(parser, args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards
     return 2  # pragma: no cover
 

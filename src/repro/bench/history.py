@@ -1,0 +1,174 @@
+"""Bench history: an append-only trajectory of saved benchmark runs.
+
+``repro bench run --save`` records one run file; this module strings those
+runs into a *history* so a case's timing trajectory across days/commits can
+be listed (``repro bench history``).  The layout borrows the
+:class:`~repro.results.ResultStore` durability discipline::
+
+    benchmarks/baselines/history/
+      manifest.jsonl            # one JSON line per appended run
+      run-<utc>-<host>-<n>.json # immutable BenchRun files
+
+A run file is fully written first and its manifest line appended (flushed)
+second — so a manifest line implies a complete run file, a torn trailing
+line is skipped on replay, and a run file without a line (crash between the
+two steps) is simply invisible.  Files are never rewritten; the manifest
+order is the append order, which is the chronology ``trajectory`` reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.bench.model import BenchRun
+from repro.serialize import canonical_json
+
+__all__ = ["BenchHistory", "HistoryPoint", "default_history_dir"]
+
+#: default directory of the committed bench history, next to the baselines.
+_HISTORY_DIR = os.path.join("benchmarks", "baselines", "history")
+
+_MANIFEST = "manifest.jsonl"
+
+
+def default_history_dir() -> str:
+    return _HISTORY_DIR
+
+
+@dataclass(frozen=True)
+class HistoryPoint:
+    """One case's measurement inside one appended run."""
+
+    timestamp: str
+    host: str
+    key: str
+    best: float
+    mean: float
+    repeats: int
+    error: Optional[str]
+    file: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "timestamp": self.timestamp,
+            "host": self.host,
+            "key": self.key,
+            "best": self.best,
+            "mean": self.mean,
+            "repeats": self.repeats,
+            "error": self.error,
+            "file": self.file,
+        }
+
+
+class BenchHistory:
+    """The append-only run history under one directory."""
+
+    def __init__(self, directory: "str | os.PathLike" = _HISTORY_DIR) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    # ------------------------------------------------------------------ #
+    # append
+    # ------------------------------------------------------------------ #
+    def _run_filename(self, run: BenchRun) -> str:
+        stamp = re.sub(r"[^0-9A-Za-z]+", "", run.timestamp) or "unstamped"
+        host = re.sub(r"[^A-Za-z0-9_.\-]+", "-", run.host) or "unknown"
+        base = f"run-{stamp}-{host}"
+        name = f"{base}.json"
+        n = 1
+        while (self.directory / name).exists():
+            name = f"{base}-{n}.json"
+            n += 1
+        return name
+
+    def append(self, run: BenchRun) -> Path:
+        """Durably add one run: write its file, then its manifest line."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        name = self._run_filename(run)
+        run.save(str(self.directory / name))
+        line = canonical_json(
+            {
+                "op": "run",
+                "file": name,
+                "timestamp": run.timestamp,
+                "host": run.host,
+                "cases": len(run.results),
+            }
+        )
+        with open(self.manifest_path, "ab") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return self.directory / name
+
+    # ------------------------------------------------------------------ #
+    # read
+    # ------------------------------------------------------------------ #
+    def _manifest_files(self) -> list[str]:
+        """Run filenames in append order (torn trailing line tolerated)."""
+        out: list[str] = []
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return out
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a crash mid-append
+            if event.get("op") == "run" and isinstance(event.get("file"), str):
+                out.append(event["file"])
+        return out
+
+    def runs(self) -> Iterator[tuple[str, BenchRun]]:
+        """``(filename, run)`` pairs in append order; unreadable files skipped."""
+        for name in self._manifest_files():
+            try:
+                yield name, BenchRun.load(str(self.directory / name))
+            except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+                continue
+
+    def __len__(self) -> int:
+        return len(self._manifest_files())
+
+    def trajectory(self, key: Optional[str] = None) -> list[HistoryPoint]:
+        """Every case measurement across the history, in append order.
+
+        ``key`` (``"suite/name"``) restricts the listing to one case — the
+        per-case trajectory ``repro bench history`` renders.
+        """
+        points: list[HistoryPoint] = []
+        for name, run in self.runs():
+            for result in run.results:
+                if key is not None and result.case.key != key:
+                    continue
+                points.append(
+                    HistoryPoint(
+                        timestamp=run.timestamp,
+                        host=run.host,
+                        key=result.case.key,
+                        best=result.best,
+                        mean=result.mean,
+                        repeats=result.repeats,
+                        error=result.error,
+                        file=name,
+                    )
+                )
+        return points
+
+    def keys(self) -> list[str]:
+        """Every case key seen across the history, sorted."""
+        return sorted({point.key for point in self.trajectory()})

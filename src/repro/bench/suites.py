@@ -32,6 +32,10 @@ Suites:
     The columnar result store at corpus scale: streaming 10k synthetic case
     results through a segment writer, columnar filter + canonical sort +
     one page, and the ``.npz`` round-trip of the whole table.
+``tuning``
+    The auto-tuning layer: a cold successive-halving search (fresh session
+    and store per repeat), the same search resumed from a populated store,
+    and the engine-free sample-and-render substrate.
 """
 
 from __future__ import annotations
@@ -547,6 +551,101 @@ def _results_suite(env: BenchEnv) -> SuiteInstance:
             prepared("append-10k", append_stream, repeats=3, warmup=1),
             prepared("filter-page-10k", filter_page, repeats=5, warmup=1),
             prepared("npz-roundtrip-10k", npz_roundtrip, repeats=3, warmup=1),
+        ],
+        close=tmpdir.cleanup,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# tuning: the auto-tuning layer (seeded search + memoized rung sweeps)
+# --------------------------------------------------------------------------- #
+#: the tiny space/search the tuning suite races (cheap at any scale).
+TUNING_SPACE = "hybrid(alpha=0.0..1.0)"
+TUNING_SEARCHER = "halving(samples=4,eta=2,rungs=2)"
+
+
+@SUITES.register(
+    "tuning",
+    description="strategy auto-tuning: cold halving search, resumed search, sampling + artifact encode",
+)
+def _tuning_suite(env: BenchEnv) -> SuiteInstance:
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from repro.session import Session
+    from repro.tune.driver import Tuner, TuneSpec
+    from repro.tune.space import parse_space
+
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-tuning-")
+    spec = TuneSpec(
+        space=parse_space(TUNING_SPACE),
+        problems=["XENON2"],
+        searcher=TUNING_SEARCHER,
+        objective="peak-memory",
+        seed=7,
+        nprocs=env.nprocs,
+        scale=env.scale,
+    )
+    run_no = {"n": 0}
+
+    def search_cold() -> dict[str, float]:
+        # a fresh session and store per repeat: measures the whole search —
+        # analyses, rung sweeps, ranking — with no memoization carried over
+        run_no["n"] += 1
+        with Session(nprocs=env.nprocs, scale=env.scale, cache_dir="") as session:
+            board = Tuner(
+                session, spec, store=os.path.join(tmpdir.name, f"cold-{run_no['n']}")
+            ).run()
+            return {
+                "evaluations": float(board.evaluations),
+                "simulate_runs": float(session.engine.stage_runs["simulate"]),
+            }
+
+    warm_store = os.path.join(tmpdir.name, "warm")
+
+    def search_resumed() -> dict[str, float]:
+        # the resume path: every evaluation answered from the shared store
+        # (the first, untimed warmup repeat populates it)
+        with Session(nprocs=env.nprocs, scale=env.scale, cache_dir="") as session:
+            board = Tuner(session, spec, store=warm_store).run()
+            return {
+                "evaluations": float(board.evaluations),
+                "simulate_runs": float(session.engine.stage_runs["simulate"]),
+            }
+
+    def sample_and_encode() -> dict[str, float]:
+        # the engine-free substrate: seeded sampling through canonical spec
+        # rendering (the store-key path) — no simulation at all
+        space = parse_space(TUNING_SPACE)
+        rng = np.random.default_rng(7)
+        keys = {space.sample(rng).key for _ in range(500)}
+        return {"distinct": float(len(keys))}
+
+    def prepared(name: str, fn, *, repeats: int, warmup: int) -> PreparedCase:
+        return PreparedCase(
+            case=BenchCase(
+                name=name,
+                suite="tuning",
+                params=(
+                    ("space", TUNING_SPACE),
+                    ("searcher", TUNING_SEARCHER),
+                    ("nprocs", env.nprocs),
+                    ("scale", env.scale),
+                ),
+            ),
+            fn=fn,
+            repeats=repeats,
+            warmup=warmup,
+        )
+
+    return SuiteInstance(
+        name="tuning",
+        cases=[
+            prepared("halving-search-cold", search_cold, repeats=2, warmup=0),
+            prepared("halving-search-resumed", search_resumed, repeats=3, warmup=1),
+            prepared("sample-and-render-500", sample_and_encode, repeats=5, warmup=1),
         ],
         close=tmpdir.cleanup,
     )

@@ -38,6 +38,12 @@ baseline comparison — see ``docs/benchmarks.md``)::
     python -m repro bench run --suite pipeline --scale 0.2 --save /tmp/b.json
     python -m repro bench compare /tmp/b.json benchmarks/baselines/ci-ubuntu.json
 
+Search the strategy space for the best configuration (seeded, resumable —
+see ``docs/tuning.md``)::
+
+    python -m repro tune --space 'hybrid(alpha=0.0..1.0)' --problems XENON2 \\
+        --searcher 'halving(samples=8,eta=2,rungs=3)' --seed 7 --store .repro_tune
+
 Run the sweep service (job queue daemon + cached HTTP/JSON query API — see
 ``docs/service.md``), submit a job and query a cached result::
 
@@ -104,7 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep', 'list', "
-        "'bench' (the performance harness; see 'repro bench --help') or "
+        "'bench' (the performance harness; see 'repro bench --help'), "
+        "'tune' (strategy auto-tuning; see 'repro tune --help') or "
         "'serve'/'submit'/'query' (the sweep service; see 'repro serve --help')",
     )
     parser.add_argument(
@@ -328,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(raw_argv[1:])
+    if raw_argv and raw_argv[0].lower() == "tune":
+        # the auto-tuning verb owns its flag grammar too (see
+        # repro/tune/cli.py)
+        from repro.tune.cli import main as tune_main
+
+        return tune_main(raw_argv[1:])
     if raw_argv and raw_argv[0].lower() in ("serve", "submit", "query"):
         # the service verbs likewise own their flag grammar (see
         # repro/service/cli.py); the verb itself selects the subcommand
@@ -343,7 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         # bench subcommands); require the verb-first spelling explicitly
         parser.error("'bench' must come first: repro bench {run,compare,list} ...")
 
-    if target in ("serve", "submit", "query"):
+    if target in ("serve", "submit", "query", "tune"):
         parser.error(f"'{target}' must come first: repro {target} [flags] ...")
 
     if args.jobs < 1:

@@ -51,6 +51,8 @@ SCHEMA_VERSIONS: dict[str, int] = {
     "bench_result": 1,
     "result_table": 1,
     "trace": 1,
+    "tune_spec": 1,
+    "leaderboard": 1,
 }
 
 

@@ -51,9 +51,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-journal-fsync", action="store_true", help="skip fsync on journal appends (CI/tests)")
     serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
 
-    submit = sub.add_parser("submit", help="submit a sweep job to a running daemon")
+    submit = sub.add_parser("submit", help="submit a sweep (or tune) job to a running daemon")
     submit.add_argument("--url", default="http://127.0.0.1:8023", help="service base URL")
     submit.add_argument("--problems", required=True, help="comma-separated problems")
+    submit.add_argument(
+        "--tune", default=None, metavar="SPACE",
+        help="submit a tune job over this search space (e.g. 'hybrid(alpha=0.0..1.0)') "
+        "instead of a sweep grid; --strategies/--nprocs axes do not apply",
+    )
+    submit.add_argument("--tune-searcher", default="halving", help="tune searcher spec (default halving)")
+    submit.add_argument("--tune-objective", default="peak-memory", help="tune objective spec (default peak-memory)")
+    submit.add_argument("--tune-seed", type=int, default=0, help="tune search seed (default 0)")
     submit.add_argument("--orderings", default="metis", help="comma-separated ordering specs")
     submit.add_argument("--strategies", default="memory-full", help="comma-separated strategy specs")
     submit.add_argument("--nprocs", default="", help="comma-separated processor-count axis (optional)")
@@ -75,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--split", action="store_true", help="the split-tree variant / list filter")
     query.add_argument("--no-compute", action="store_true", help="404 instead of computing on a cache miss")
     query.add_argument("--table", default=None, metavar="NAME", help="fetch a table (e.g. table2) instead of one case")
+    query.add_argument(
+        "--leaderboard", nargs="?", const="latest", default=None, metavar="JOB",
+        help="fetch a tune job's leaderboard (bare flag = the latest one)",
+    )
     query.add_argument("--list", action="store_true", help="paginated listing from the result store instead of one case")
     query.add_argument("--limit", type=int, default=None, help="page size of --list (default 50, max 500)")
     query.add_argument("--cursor", type=int, default=None, help="page offset of --list (from the previous page's next link)")
@@ -124,23 +136,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
     from repro.specs import split_spec_list
 
-    nprocs = [int(part) for part in args.nprocs.split(",") if part.strip()]
-    sweep: dict[str, object] = {
-        "problems": [p.upper() for p in split_spec_list(args.problems)],
-        "orderings": split_spec_list(args.orderings),
-        "strategies": split_spec_list(args.strategies),
-        "split": [bool(args.split)],
-    }
-    if nprocs:
-        sweep["nprocs"] = nprocs
-    if args.scale is not None:
-        sweep["scale"] = [args.scale]
     spec: dict[str, object] = {
-        "sweep": sweep,
         "priority": args.priority,
         "max_attempts": args.max_attempts,
         "timeout_s": args.timeout,
     }
+    if args.tune is not None:
+        from repro.tune.driver import TuneSpec
+        from repro.tune.space import parse_space
+
+        try:
+            tune = TuneSpec(
+                space=parse_space(args.tune),
+                problems=[p.upper() for p in split_spec_list(args.problems)],
+                orderings=split_spec_list(args.orderings),
+                searcher=args.tune_searcher,
+                objective=args.tune_objective,
+                seed=args.tune_seed,
+                scale=args.scale,
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"repro submit: {exc}", file=sys.stderr)
+            return 2
+        spec["tune"] = tune.to_dict()
+    else:
+        nprocs = [int(part) for part in args.nprocs.split(",") if part.strip()]
+        sweep: dict[str, object] = {
+            "problems": [p.upper() for p in split_spec_list(args.problems)],
+            "orderings": split_spec_list(args.orderings),
+            "strategies": split_spec_list(args.strategies),
+            "split": [bool(args.split)],
+        }
+        if nprocs:
+            sweep["nprocs"] = nprocs
+        if args.scale is not None:
+            sweep["scale"] = [args.scale]
+        spec["sweep"] = sweep
     client = ServiceClient(args.url)
     try:
         record = client.submit(spec)
@@ -158,7 +189,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.url)
     try:
-        if args.table:
+        if args.leaderboard:
+            response = client.leaderboard(
+                None if args.leaderboard == "latest" else args.leaderboard
+            )
+        elif args.table:
             response = client.table(args.table)
         elif args.list:
             response = client.list_results(

@@ -150,6 +150,11 @@ class ServiceClient:
             query["limit"] = str(50)
         return self._request("/results?" + urllib.parse.urlencode(sorted(query.items())))
 
+    def leaderboard(self, job: str | None = None) -> QueryResponse:
+        """GET /leaderboard — the latest (or one job's) tune leaderboard."""
+        suffix = ("?" + urllib.parse.urlencode({"job": job})) if job else ""
+        return self._request("/leaderboard" + suffix)
+
     def table(self, name: str, **params: object) -> QueryResponse:
         query = {k: str(v) for k, v in params.items() if v not in (None, "")}
         suffix = ("?" + urllib.parse.urlencode(query)) if query else ""

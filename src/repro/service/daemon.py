@@ -25,6 +25,7 @@ from the cache rather than re-executed.
 from __future__ import annotations
 
 import os
+import re
 import threading
 import time
 import traceback
@@ -435,6 +436,9 @@ class SweepService:
         spec = record.spec
         deadline = None if spec.timeout_s is None else time.monotonic() + spec.timeout_s
         try:
+            if spec.tune is not None:
+                self._execute_tune(record, deadline)
+                return
             specs = spec.expand()
             shards = partition_shards(specs, max_shard_size=self.shard_size)
             self.queue.set_shards(record.id, len(shards))
@@ -457,6 +461,62 @@ class SweepService:
             self.queue.fail(record.id, f"timeout: {exc}")
         except Exception as exc:
             self.queue.fail(record.id, f"{type(exc).__name__}: {exc}")
+
+    def _execute_tune(self, record: JobRecord, deadline: Optional[float]) -> None:
+        """Run one tune job: the whole search under the engine lock.
+
+        Every rung evaluation is memoized in the shared ``tune-store``, so a
+        re-submitted (or daemon-crash-recovered) tune job recomputes only the
+        cases the store is missing.  The finished leaderboard is persisted
+        under ``leaderboards/<job_id>.json`` (plus ``latest.json``) next to
+        the store, and the job record carries its path as a result key.
+        """
+        from repro.tune.driver import Tuner
+
+        tune_spec = record.spec.tune
+        assert tune_spec is not None
+
+        def progress(done: int, total: int) -> None:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShardTimeout(
+                    f"job deadline elapsed mid-tune after {done}/{total} case "
+                    f"evaluations ({record.spec.timeout_s:.1f}s)"
+                )
+            self.queue.progress(record.id, done=done, shards_done=0)
+
+        with self._engine_lock:
+            board = Tuner(
+                self.session,
+                tune_spec,
+                store=self.data_dir / "tune-store",
+                batch=True,
+                progress=progress,
+            ).run()
+        path = board.save(self.leaderboard_dir / f"{record.id}.json")
+        board.save(self.leaderboard_dir / "latest.json")
+        self.queue.finish(record.id, result_keys=[str(path)])
+
+    @property
+    def leaderboard_dir(self) -> Path:
+        return self.data_dir / "leaderboards"
+
+    def leaderboard(self, job_id: Optional[str] = None) -> dict[str, object]:
+        """The persisted leaderboard payload of one tune job (or the latest).
+
+        Raises ``KeyError`` when no tune job has produced one yet (the HTTP
+        layer maps this to 404).
+        """
+        from repro.tune.leaderboard import Leaderboard
+
+        if job_id is not None and not re.fullmatch(r"[A-Za-z0-9_.\-]+", job_id):
+            raise ValueError(f"bad leaderboard job id {job_id!r}")
+        path = self.leaderboard_dir / (f"{job_id}.json" if job_id else "latest.json")
+        try:
+            return Leaderboard.load(path).to_dict()
+        except FileNotFoundError:
+            raise KeyError(
+                f"no leaderboard for job {job_id!r}" if job_id else "no leaderboard yet"
+            ) from None
 
     def _store_result(self, spec: CaseSpec, result: CaseResult) -> str:
         key = result_key(self.engine, spec)

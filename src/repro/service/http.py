@@ -19,6 +19,9 @@ dependencies.  Endpoints:
                            ``split_threshold``, ``compute=false`` optional)
 ``GET  /tables/<name>``    one of the paper's tables, cache-first
                            (``problems``/``orderings`` comma-list params)
+``GET  /leaderboard``      the latest tune job's leaderboard artifact
+                           (``job=<id>`` selects a specific tune job;
+                           404 until a tune job has finished)
 ========================  ==========================================================
 
 Backwards compatibility: ``GET /results`` used to be today's ``/result``.
@@ -143,6 +146,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._result()
             elif match := _TABLE_PATH.match(path):
                 self._table(match.group("name"))
+            elif path == "/leaderboard":
+                self._leaderboard()
             else:
                 self._error(404, f"no such endpoint {path!r}")
         except ValueError as exc:
@@ -206,6 +211,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._result(deprecated=True)
             return
         self._send(200, self.server.service.list_results(params))
+
+    def _leaderboard(self) -> None:
+        params = self._params()
+        unknown = set(params) - {"job"}
+        if unknown:
+            self._error(400, f"unknown query parameter(s) {sorted(unknown)}")
+            return
+        try:
+            payload = self.server.service.leaderboard(params.get("job"))
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else "no leaderboard yet")
+            return
+        self._send(200, payload)
 
     def _table(self, name: str) -> None:
         params = self._params()

@@ -37,6 +37,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from repro.pipeline.stage import CaseSpec
 from repro.serialize import decode_fields
 from repro.specs import SweepSpec
+from repro.tune.driver import TuneSpec
 
 __all__ = [
     "JOB_STATES",
@@ -74,23 +75,33 @@ def new_job_id() -> str:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class JobSpec:
-    """Declarative description of one sweep job (JSON round-trippable).
+    """Declarative description of one queued job (JSON round-trippable).
 
-    ``sweep`` and ``cases`` may be combined; :meth:`expand` concatenates the
-    grid expansion with the explicit cases, in that order.  ``max_attempts``
-    bounds the retry-with-backoff loop of each shard; ``timeout_s`` is a
-    wall-clock deadline for the whole job.
+    Two job kinds share this spec: *sweep* jobs (``sweep`` and/or ``cases``
+    — :meth:`expand` concatenates the grid expansion with the explicit
+    cases, in that order) and *tune* jobs (``tune``, a full
+    :class:`~repro.tune.driver.TuneSpec`, exclusive with the other two —
+    executed by the daemon through a :class:`~repro.tune.driver.Tuner`).
+    ``max_attempts`` bounds the retry-with-backoff loop of each shard;
+    ``timeout_s`` is a wall-clock deadline for the whole job.
     """
 
     sweep: Optional[SweepSpec] = None
     cases: tuple[CaseSpec, ...] = ()
+    tune: Optional[TuneSpec] = None
     priority: int = 0
     max_attempts: int = 3
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.sweep is None and not self.cases:
-            raise ValueError("JobSpec needs a sweep grid or at least one explicit case")
+        if self.tune is not None:
+            if self.sweep is not None or self.cases:
+                raise ValueError(
+                    "a tune job is exclusive: it cannot also carry a sweep grid "
+                    "or explicit cases"
+                )
+        elif self.sweep is None and not self.cases:
+            raise ValueError("JobSpec needs a sweep grid, explicit cases, or a tune spec")
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -98,12 +109,22 @@ class JobSpec:
         object.__setattr__(self, "cases", tuple(self.cases))
 
     def expand(self) -> list[CaseSpec]:
-        """Every case of this job, grid expansion first, in a stable order."""
+        """Every *explicit* case of this job, grid expansion first.
+
+        Tune jobs expand to nothing here — their cases are chosen by the
+        searcher at run time; :meth:`total_cases` still bounds them.
+        """
         out: list[CaseSpec] = []
         if self.sweep is not None:
             out.extend(self.sweep.expand())
         out.extend(self.cases)
         return out
+
+    def total_cases(self) -> int:
+        """Progress denominator: grid size, or the searcher's planned budget."""
+        if self.tune is not None:
+            return self.tune.planned_evaluations()
+        return len(self.expand())
 
     def to_dict(self) -> dict[str, object]:
         data: dict[str, object] = {
@@ -115,19 +136,23 @@ class JobSpec:
             data["sweep"] = self.sweep.to_dict()
         if self.cases:
             data["cases"] = [case.to_dict() for case in self.cases]
+        if self.tune is not None:
+            data["tune"] = self.tune.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
-        known = {"sweep", "cases", "priority", "max_attempts", "timeout_s"}
+        known = {"sweep", "cases", "tune", "priority", "max_attempts", "timeout_s"}
         data = decode_fields("job_spec", data, known, label="JobSpec", strict=True)
         sweep = data.get("sweep")
         cases = data.get("cases") or ()
+        tune = data.get("tune")
         if not isinstance(cases, Sequence) or isinstance(cases, (str, bytes)):
             raise ValueError(f"JobSpec cases must be a list of case dicts, got {cases!r}")
         return cls(
             sweep=SweepSpec.from_dict(sweep) if sweep is not None else None,
             cases=tuple(CaseSpec.from_dict(case) for case in cases),
+            tune=TuneSpec.from_dict(tune) if tune is not None else None,  # type: ignore[arg-type]
             priority=int(data.get("priority", 0)),
             max_attempts=int(data.get("max_attempts", 3)),
             timeout_s=(None if data.get("timeout_s") is None else float(data["timeout_s"])),  # type: ignore[arg-type]
@@ -329,7 +354,7 @@ class JobQueue:
             spec=spec,
             state="queued",
             created_at=self._clock(),
-            total=len(spec.expand()),
+            total=spec.total_cases(),
         )
         with self._cond:
             if record.id in self._records:

@@ -36,7 +36,14 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.stage import CaseSpec
 
-__all__ = ["ParamSpec", "parse_spec", "split_spec_list", "format_value", "SweepSpec"]
+__all__ = [
+    "ParamSpec",
+    "parse_spec",
+    "split_spec_list",
+    "format_value",
+    "canonical_float",
+    "SweepSpec",
+]
 
 ParamValue = Union[int, float, bool, str]
 
@@ -67,6 +74,19 @@ def _parse_value(text: str) -> ParamValue:
     if _NAME_RE.fullmatch(text):
         return text  # bare word, e.g. leaf_method=fill
     raise ValueError(f"cannot parse parameter value {text!r}")
+
+
+def canonical_float(value: float) -> float:
+    """Round a float to its canonical 12-significant-digit form.
+
+    Sampled parameter values carry binary-representation noise — a tuner that
+    draws ``0.1 + 0.2`` gets ``0.30000000000000004``, which would render (and
+    cache-key) differently from the hand-written ``0.3`` naming the same
+    configuration.  Twelve significant digits is far beyond any physically
+    meaningful parameter resolution here and well within float64's 15–17, so
+    the rounding is stable: canonicalising twice is the identity.
+    """
+    return float(f"{value:.12g}")
 
 
 def format_value(value: ParamValue) -> str:
@@ -101,11 +121,15 @@ class ParamSpec:
     params: tuple[tuple[str, ParamValue], ...] = ()
 
     def __post_init__(self) -> None:
-        # numbers are normalised (1.0 → 1) so specs that compare equal —
-        # Python treats 1 == 1.0 — also canonicalise (and cache-key) equally
+        # numbers are normalised (1.0 → 1, sampled noise rounded away) so
+        # specs that compare equal — Python treats 1 == 1.0, and a tuner's
+        # 0.30000000000000004 *means* 0.3 — also canonicalise (and
+        # cache-key) equally
         def norm(value: ParamValue) -> ParamValue:
-            if isinstance(value, float) and not isinstance(value, bool) and value.is_integer():
-                return int(value)
+            if isinstance(value, float) and not isinstance(value, bool):
+                value = canonical_float(value)
+                if value.is_integer():
+                    return int(value)
             return value
 
         object.__setattr__(
@@ -267,6 +291,31 @@ class SweepSpec:
             raise ValueError("SweepSpec needs at least one ordering")
         if self.strategies == (None,):
             raise ValueError("SweepSpec needs at least one strategy")
+        # split is required too: an explicit None (or an empty axis) used to
+        # slip through _axis as (None,) and be silently coerced to False
+        if self.split == (None,):
+            raise ValueError("SweepSpec needs at least one split value")
+        self._check_axis("split", self.split, (bool,), allow_none=False)
+        self._check_axis("nprocs", self.nprocs, (int,), allow_none=True)
+        self._check_axis("scale", self.scale, (int, float), allow_none=True)
+        self._check_axis("split_threshold", self.split_threshold, (int,), allow_none=True)
+
+    @staticmethod
+    def _check_axis(
+        name: str, axis: tuple, types: tuple[type, ...], *, allow_none: bool
+    ) -> None:
+        expected = " or ".join(t.__name__ for t in types) + (" or None" if allow_none else "")
+        for value in axis:
+            if value is None and allow_none:
+                continue
+            # bool is an int subclass, so nprocs=True would otherwise pass
+            # the isinstance check and reach the engine as a processor count
+            if isinstance(value, bool) and bool not in types:
+                raise ValueError(
+                    f"SweepSpec {name} values must be {expected}, got the bool {value!r}"
+                )
+            if not isinstance(value, types):
+                raise ValueError(f"SweepSpec {name} values must be {expected}, got {value!r}")
 
     def __len__(self) -> int:
         return (

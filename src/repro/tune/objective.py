@@ -1,0 +1,184 @@
+"""Objectives: what "better" means when ranking tuned configurations.
+
+An objective maps one :class:`CaseResult` to a scalar score (lower is
+better), and the tuner aggregates per-case scores into a per-problem and an
+overall score.  Objectives resolve through the same spec mini-language as
+strategies and searchers (``"weighted(memory=1.0,time=0.25)"``), so a
+leaderboard records exactly which trade-off it ranked by.
+
+Uncertainty is reported as a deterministic bootstrap confidence interval
+over the per-problem scores: the resampling rng is seeded from the caller's
+tune seed mixed (via CRC-32, never the randomized builtin ``hash``) with a
+stable label, so the same tune run always reports the same CI bounds —
+a requirement for byte-identical leaderboard artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.registry import Registry
+from repro.specs import canonical_float
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.stage import CaseResult
+
+__all__ = [
+    "Objective",
+    "MakespanObjective",
+    "PeakMemoryObjective",
+    "AvgMemoryObjective",
+    "WeightedObjective",
+    "OBJECTIVES",
+    "make_objective",
+    "aggregate",
+    "bootstrap_ci",
+    "mixed_seed",
+]
+
+
+class Objective(ABC):
+    """Scores one case result; lower is better."""
+
+    name: str = ""
+
+    @abstractmethod
+    def score(self, result: "CaseResult") -> float:
+        """The scalar score of one case (lower is better)."""
+
+
+class MakespanObjective(Objective):
+    """Simulated makespan (``total_time``)."""
+
+    name = "makespan"
+
+    def score(self, result: "CaseResult") -> float:
+        return float(result.total_time)
+
+
+class PeakMemoryObjective(Objective):
+    """Worst per-process stack peak (``max_peak_stack``)."""
+
+    name = "peak-memory"
+
+    def score(self, result: "CaseResult") -> float:
+        return float(result.max_peak_stack)
+
+
+class AvgMemoryObjective(Objective):
+    """Mean per-process stack peak (``avg_peak_stack``)."""
+
+    name = "avg-memory"
+
+    def score(self, result: "CaseResult") -> float:
+        return float(result.avg_peak_stack)
+
+
+class WeightedObjective(Objective):
+    """Weighted geometric combination of memory and makespan.
+
+    The score is ``memory*log(max_peak_stack) + time*log(total_time)`` —
+    combining in log space keeps the trade-off scale-free, so a problem
+    whose absolute memory numbers dwarf its makespan does not drown out
+    the time term (and vice versa).
+    """
+
+    name = "weighted"
+
+    def __init__(self, memory: float = 1.0, time: float = 1.0) -> None:
+        memory = float(memory)
+        time = float(time)
+        if memory < 0 or time < 0 or memory + time <= 0:
+            raise ValueError(
+                f"weighted objective needs non-negative weights with a positive "
+                f"sum, got memory={memory}, time={time}"
+            )
+        self.memory = memory
+        self.time = time
+
+    def score(self, result: "CaseResult") -> float:
+        score = 0.0
+        if self.memory:
+            score += self.memory * math.log(max(float(result.max_peak_stack), 1e-300))
+        if self.time:
+            score += self.time * math.log(max(float(result.total_time), 1e-300))
+        return score
+
+
+OBJECTIVES: Registry = Registry("objective")
+OBJECTIVES.add(
+    "makespan",
+    MakespanObjective,
+    description="simulated makespan (total_time)",
+)
+OBJECTIVES.add(
+    "peak-memory",
+    PeakMemoryObjective,
+    description="worst per-process stack peak (max_peak_stack)",
+)
+OBJECTIVES.add(
+    "avg-memory",
+    AvgMemoryObjective,
+    description="mean per-process stack peak (avg_peak_stack)",
+)
+OBJECTIVES.add(
+    "weighted",
+    WeightedObjective,
+    description="weighted log-space combination of peak memory and makespan",
+    params={"memory": 1.0, "time": 1.0},
+)
+
+
+def make_objective(spec: str) -> Objective:
+    """Build an objective from a mini-language spec (``"weighted(time=0.5)"``)."""
+    entry, params = OBJECTIVES.resolve(spec)
+    return entry.value(**params)  # type: ignore[operator]
+
+
+def aggregate(scores: Sequence[float]) -> float:
+    """Fold per-problem scores into one comparable scalar (the mean)."""
+    if not scores:
+        raise ValueError("cannot aggregate an empty score list")
+    return canonical_float(float(np.mean(np.asarray(scores, dtype=np.float64))))
+
+
+def mixed_seed(seed: int, label: str) -> int:
+    """A per-label derived seed: ``seed`` mixed with CRC-32 of ``label``.
+
+    ``hash()`` is randomized per interpreter run, so it can never feed a
+    reproducible artifact; CRC-32 is stable across runs and platforms.
+    """
+    return (int(seed) & 0xFFFFFFFF) ^ zlib.crc32(label.encode("utf-8"))
+
+
+def bootstrap_ci(
+    scores: Sequence[float],
+    *,
+    seed: int,
+    n_boot: int = 200,
+    alpha: float = 0.1,
+) -> tuple[float, float]:
+    """Deterministic percentile-bootstrap CI over per-problem scores.
+
+    Resamples the score vector ``n_boot`` times with replacement and returns
+    the ``(alpha/2, 1-alpha/2)`` percentiles of the resampled means.  With a
+    single score the interval degenerates to that score.
+    """
+    values = np.asarray(list(scores), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty score list")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if values.size == 1:
+        point = canonical_float(float(values[0]))
+        return point, point
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, values.size, size=(int(n_boot), values.size))
+    means = values[draws].mean(axis=1)
+    lo, hi = np.percentile(means, [50.0 * alpha, 100.0 - 50.0 * alpha])
+    return canonical_float(float(lo)), canonical_float(float(hi))

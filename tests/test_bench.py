@@ -436,6 +436,7 @@ class TestBenchCli:
                 "bench", "run", "--suite", "components", "--scale", "0.15",
                 "--repeats", "1", "--warmup", "0", "--quiet",
                 "--format", "json", "--save", out,
+                "--history", str(tmp_path / "history"),
             ]
         )
         assert code == 0
@@ -456,7 +457,7 @@ class TestBenchCli:
             [
                 "bench", "run", "--suite", "components", "--scale", "0.15",
                 "--repeats", "1", "--warmup", "0", "--quiet",
-                "--format", "json", "--save", out,
+                "--format", "json", "--save", out, "--no-history",
             ]
         ) == 0
         capsys.readouterr()

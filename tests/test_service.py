@@ -57,7 +57,7 @@ class TestJobSpec:
         assert [c.problem for c in clone.expand()] == ["XENON2", "XENON2", "PRE2"]
 
     def test_needs_work(self):
-        with pytest.raises(ValueError, match="sweep grid or at least one"):
+        with pytest.raises(ValueError, match="sweep grid, explicit cases, or a tune spec"):
             JobSpec()
 
     def test_rejects_bad_policy(self):
