@@ -12,8 +12,12 @@ be listed (``repro bench history``).  The layout borrows the
 A run file is fully written first and its manifest line appended (flushed)
 second — so a manifest line implies a complete run file, a torn trailing
 line is skipped on replay, and a run file without a line (crash between the
-two steps) is simply invisible.  Files are never rewritten; the manifest
-order is the append order, which is the chronology ``trajectory`` reports.
+two steps) is simply invisible until :meth:`BenchHistory.adopt_orphans`
+re-manifests it.  Files are never rewritten; the manifest order is the
+append order, which is the chronology ``trajectory`` reports.  Replay is
+lossy only for files that cannot be loaded, and never silently:
+:attr:`BenchHistory.replay_skipped` counts them per :meth:`~BenchHistory.runs`
+pass.
 """
 
 from __future__ import annotations
@@ -71,6 +75,10 @@ class BenchHistory:
 
     def __init__(self, directory: "str | os.PathLike" = _HISTORY_DIR) -> None:
         self.directory = Path(directory)
+        #: manifest-listed files that failed to load during the last
+        #: :meth:`runs` pass (reset at the start of each pass), plus any
+        #: unloadable orphans :meth:`adopt_orphans` refused to adopt since.
+        self.replay_skipped: int = 0
 
     @property
     def manifest_path(self) -> Path:
@@ -90,24 +98,42 @@ class BenchHistory:
             n += 1
         return name
 
+    def _append_manifest_line(self, line: bytes) -> None:
+        """Flush one manifest line durably, healing a torn predecessor.
+
+        A crash mid-append can leave the manifest without its trailing
+        newline; glueing the next line onto the torn fragment would corrupt
+        both, so a missing newline is repaired before writing.
+        """
+        prefix = b""
+        try:
+            with open(self.manifest_path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    prefix = b"\n"
+        except (FileNotFoundError, OSError):
+            pass  # no manifest yet, or empty: nothing to heal
+        with open(self.manifest_path, "ab") as fh:
+            fh.write(prefix + line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
     def append(self, run: BenchRun) -> Path:
         """Durably add one run: write its file, then its manifest line."""
         self.directory.mkdir(parents=True, exist_ok=True)
         name = self._run_filename(run)
         run.save(str(self.directory / name))
-        line = canonical_json(
-            {
-                "op": "run",
-                "file": name,
-                "timestamp": run.timestamp,
-                "host": run.host,
-                "cases": len(run.results),
-            }
+        self._append_manifest_line(
+            canonical_json(
+                {
+                    "op": "run",
+                    "file": name,
+                    "timestamp": run.timestamp,
+                    "host": run.host,
+                    "cases": len(run.results),
+                }
+            )
         )
-        with open(self.manifest_path, "ab") as fh:
-            fh.write(line)
-            fh.flush()
-            os.fsync(fh.fileno())
         return self.directory / name
 
     # ------------------------------------------------------------------ #
@@ -134,12 +160,55 @@ class BenchHistory:
         return out
 
     def runs(self) -> Iterator[tuple[str, BenchRun]]:
-        """``(filename, run)`` pairs in append order; unreadable files skipped."""
+        """``(filename, run)`` pairs in append order; unreadable files skipped.
+
+        Skips are counted in :attr:`replay_skipped` (reset at the start of
+        each pass), so a caller can tell a short history from a lossy replay.
+        """
+        self.replay_skipped = 0
         for name in self._manifest_files():
             try:
                 yield name, BenchRun.load(str(self.directory / name))
             except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+                self.replay_skipped += 1
                 continue
+
+    def adopt_orphans(self) -> list[str]:
+        """Manifest complete run files a crash left lineless; return their names.
+
+        A crash between :meth:`append`'s two steps (run file written, line
+        not yet flushed) leaves a complete, loadable run file invisible to
+        replay.  This scans the directory for ``run-*.json`` files absent
+        from the manifest, verifies each actually loads, and appends the
+        missing manifest lines (in sorted filename order, so two repairs of
+        the same directory produce the same manifest).  Unloadable orphans
+        are never manifested — they count toward :attr:`replay_skipped`
+        instead of poisoning every future replay.
+        """
+        manifested = set(self._manifest_files())
+        adopted: list[str] = []
+        for path in sorted(self.directory.glob("run-*.json")):
+            name = path.name
+            if name in manifested:
+                continue
+            try:
+                run = BenchRun.load(str(path))
+            except (ValueError, KeyError, json.JSONDecodeError):
+                self.replay_skipped += 1
+                continue
+            self._append_manifest_line(
+                canonical_json(
+                    {
+                        "op": "run",
+                        "file": name,
+                        "timestamp": run.timestamp,
+                        "host": run.host,
+                        "cases": len(run.results),
+                    }
+                )
+            )
+            adopted.append(name)
+        return adopted
 
     def __len__(self) -> int:
         return len(self._manifest_files())

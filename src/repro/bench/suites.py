@@ -36,6 +36,10 @@ Suites:
     The auto-tuning layer: a cold successive-halving search (fresh session
     and store per repeat), the same search resumed from a populated store,
     and the engine-free sample-and-render substrate.
+``robustness``
+    The fault-injection layer: a faulted simulation (stragglers + message
+    loss) against its clean twin on the same prebuilt analysis, isolating
+    the layer's overhead on the event kernel.
 """
 
 from __future__ import annotations
@@ -648,4 +652,73 @@ def _tuning_suite(env: BenchEnv) -> SuiteInstance:
             prepared("sample-and-render-500", sample_and_encode, repeats=5, warmup=1),
         ],
         close=tmpdir.cleanup,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# robustness: the fault-injection layer's overhead on the simulation kernel
+# --------------------------------------------------------------------------- #
+#: the perturbation the faulted case injects (exercises every model hook).
+ROBUSTNESS_FAULTS = "stragglers(frac=0.25,slowdown=4.0)+msgloss(p=0.05,retry_timeout=5e-4)"
+ROBUSTNESS_SEED = 7
+
+
+@SUITES.register(
+    "robustness",
+    description="fault-injection overhead: clean vs faulted simulation on one prebuilt analysis",
+)
+def _robustness_suite(env: BenchEnv) -> SuiteInstance:
+    from repro.runtime import FactorizationSimulator
+    from repro.scheduling import get_strategy
+    from repro.session import Session
+
+    # one prebuilt analysis serves both twins, so the pair isolates the
+    # fault layer's cost from the analysis stages
+    session = Session(nprocs=env.nprocs, scale=env.scale, cache_dir="")
+    analysis = session.analysis("XENON2", "metis")
+    faulted_config = session.config.replace(
+        faults=ROBUSTNESS_FAULTS, fault_seed=ROBUSTNESS_SEED
+    )
+
+    def simulate(config) -> dict[str, float]:
+        slave, task = get_strategy("memory-full").build()
+        result = FactorizationSimulator(
+            analysis.tree,
+            config=config,
+            mapping=analysis.mapping,
+            slave_selector=slave,
+            task_selector=task,
+        ).run()
+        metrics = _simulate_metrics(result)
+        counts = result.message_counts or {}
+        metrics["msg_lost"] = float(counts.get("msg_lost", 0))
+        metrics["msg_retries"] = float(counts.get("msg_retries", 0))
+        return metrics
+
+    def prepared(name: str, config) -> PreparedCase:
+        return PreparedCase(
+            case=BenchCase(
+                name=name,
+                suite="robustness",
+                params=(
+                    ("problem", "XENON2"),
+                    ("ordering", "metis"),
+                    ("strategy", "memory-full"),
+                    ("faults", ROBUSTNESS_FAULTS if config.faults else ""),
+                    ("nprocs", env.nprocs),
+                    ("scale", env.scale),
+                ),
+            ),
+            fn=lambda: simulate(config),
+            repeats=3,
+            warmup=1,
+        )
+
+    return SuiteInstance(
+        name="robustness",
+        cases=[
+            prepared("simulate-clean", session.config),
+            prepared("simulate-faulted", faulted_config),
+        ],
+        close=session.close,
     )

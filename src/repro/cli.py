@@ -111,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="table1..table6, figure1..figure8, 'all', 'tables', 'figures', 'sweep', 'list', "
         "'bench' (the performance harness; see 'repro bench --help'), "
-        "'tune' (strategy auto-tuning; see 'repro tune --help') or "
+        "'tune' (strategy auto-tuning; see 'repro tune --help'), "
+        "'robustness' (fault-injection sweeps; see 'repro robustness --help') or "
         "'serve'/'submit'/'query' (the sweep service; see 'repro serve --help')",
     )
     parser.add_argument(
@@ -341,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.tune.cli import main as tune_main
 
         return tune_main(raw_argv[1:])
+    if raw_argv and raw_argv[0].lower() == "robustness":
+        # the fault-injection verb owns its flag grammar (see
+        # repro/faults/cli.py)
+        from repro.faults.cli import main as robustness_main
+
+        return robustness_main(raw_argv[1:])
     if raw_argv and raw_argv[0].lower() in ("serve", "submit", "query"):
         # the service verbs likewise own their flag grammar (see
         # repro/service/cli.py); the verb itself selects the subcommand
@@ -356,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         # bench subcommands); require the verb-first spelling explicitly
         parser.error("'bench' must come first: repro bench {run,compare,list} ...")
 
-    if target in ("serve", "submit", "query", "tune"):
+    if target in ("serve", "submit", "query", "tune", "robustness"):
         parser.error(f"'{target}' must come first: repro {target} [flags] ...")
 
     if args.jobs < 1:

@@ -1,0 +1,29 @@
+"""Deterministic fault injection: perturbed machines for robustness studies.
+
+See :mod:`repro.faults.models` for the fault-model grammar and
+:doc:`docs/robustness.md <../../docs/robustness>` for the full walkthrough.
+"""
+
+from repro.faults.models import (
+    MAX_RETRIES,
+    FaultPlan,
+    FaultSpec,
+    MsgLossModel,
+    SlowdownModel,
+    StragglerModel,
+    canonical_faults,
+    parse_faults,
+    replication_seed,
+)
+
+__all__ = [
+    "MAX_RETRIES",
+    "FaultPlan",
+    "FaultSpec",
+    "MsgLossModel",
+    "SlowdownModel",
+    "StragglerModel",
+    "canonical_faults",
+    "parse_faults",
+    "replication_seed",
+]

@@ -1,0 +1,184 @@
+"""The ``repro robustness`` verb: rank strategies under injected faults.
+
+Runs one faulted sweep (clean baseline + ``--replications`` seeded faulted
+replays per case, see :mod:`repro.faults`) and emits a strategy-degradation
+table: for every (problem, ordering, strategy) the clean makespan, the p50
+and p95 faulted makespans, the degradation factor (p50 / clean) and the
+message-loss counters.
+
+Examples
+--------
+Compare two strategies under stragglers plus message loss, three
+replications, reproducibly seeded::
+
+    python -m repro robustness --problems XENON2 \\
+        --strategies 'memory-full,mumps-workload' \\
+        --faults 'stragglers(frac=0.1,slowdown=4.0)+msgloss(p=0.01)' \\
+        --seed 7 --replications 3 --scale 0.2
+
+The same ``(--faults, --seed)`` pair always reproduces byte-identical
+results; add ``--store`` to make the sweep resumable.  See
+``docs/robustness.md`` for the fault-model grammar and the replication
+semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+
+import repro
+from repro.faults import parse_faults
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro robustness",
+        description="Rank scheduling strategies by degradation under injected faults",
+    )
+    parser.add_argument(
+        "--problems", required=True,
+        help="comma-separated problem names, e.g. XENON2,PRE2",
+    )
+    parser.add_argument(
+        "--orderings", default="metis",
+        help="comma-separated ordering specs (default: metis)",
+    )
+    parser.add_argument(
+        "--strategies", default="memory-full,mumps-workload",
+        help="comma-separated strategy specs (default: memory-full,mumps-workload)",
+    )
+    parser.add_argument(
+        "--faults", required=True,
+        help="fault spec, e.g. 'stragglers(frac=0.1,slowdown=4.0)+msgloss(p=0.01)'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fault rng seed (default 0)")
+    parser.add_argument(
+        "--replications", type=int, default=3,
+        help="faulted replications per case (default 3)",
+    )
+    parser.add_argument("--nprocs", type=int, default=None, help="simulated-processor override")
+    parser.add_argument("--scale", type=float, default=None, help="problem scale factor")
+    parser.add_argument("--jobs", type=int, default=None, help="sweep worker processes")
+    parser.add_argument("--cache", default=None, metavar="DIR", help="artifact cache directory")
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="ResultStore directory making the sweep resumable",
+    )
+    parser.add_argument(
+        "--format", choices=("md", "json", "csv"), default="md",
+        help="stdout format (default md)",
+    )
+    return parser
+
+
+_COLUMNS = (
+    "problem", "ordering", "strategy", "clean_makespan",
+    "makespan_p50", "makespan_p95", "degradation", "messages_lost", "retries",
+)
+
+
+def _rows(results) -> list[dict[str, object]]:
+    rows = []
+    for case in results:
+        # degradation = p50 / clean, so the clean baseline makespan is
+        # recoverable without storing it as its own column
+        clean = case.makespan_p50 / case.degradation if case.degradation > 0 else 0.0
+        rows.append(
+            {
+                "problem": case.problem,
+                "ordering": case.ordering,
+                "strategy": case.strategy,
+                "clean_makespan": clean,
+                "makespan_p50": case.makespan_p50,
+                "makespan_p95": case.makespan_p95,
+                "degradation": case.degradation,
+                "messages_lost": case.messages_lost,
+                "retries": case.retries,
+            }
+        )
+    # worst degradation first: the table reads as "most fragile on top"
+    rows.sort(key=lambda r: (-float(r["degradation"]), str(r["problem"]),
+                             str(r["ordering"]), str(r["strategy"])))
+    return rows
+
+
+def _render(rows: list[dict[str, object]], faults: str, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps({"faults": faults, "rows": rows}, indent=2, sort_keys=True)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_COLUMNS)
+        for row in rows:
+            writer.writerow([row[c] for c in _COLUMNS])
+        return buffer.getvalue().rstrip("\n")
+    lines = [
+        f"faults: `{faults}`",
+        "",
+        "| problem | ordering | strategy | clean | p50 | p95 | degradation | lost | retries |",
+        "| ------- | -------- | -------- | ----- | --- | --- | ----------- | ---- | ------- |",
+    ]
+    for row in rows:
+        strategy = str(row["strategy"]).replace("|", "\\|")
+        lines.append(
+            f"| {row['problem']} | {row['ordering']} | {strategy} "
+            f"| {row['clean_makespan']:.6g} | {row['makespan_p50']:.6g} "
+            f"| {row['makespan_p95']:.6g} | {row['degradation']:.4f} "
+            f"| {row['messages_lost']} | {row['retries']} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    problems = [p.strip().upper() for p in args.problems.split(",") if p.strip()]
+    if not problems:
+        parser.error("--problems needs at least one problem")
+    orderings = [o.strip() for o in args.orderings.split(",") if o.strip()]
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    if args.replications < 1:
+        parser.error("--replications must be >= 1")
+    if args.seed < 0:
+        parser.error("--seed must be >= 0")
+    try:
+        faults = str(parse_faults(args.faults).canonical())
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    session_kwargs = {}
+    if args.nprocs is not None:
+        session_kwargs["nprocs"] = args.nprocs
+    if args.scale is not None:
+        session_kwargs["scale"] = args.scale
+    if args.cache is not None:
+        session_kwargs["cache_dir"] = args.cache
+    if args.jobs is not None:
+        session_kwargs["jobs"] = args.jobs
+
+    try:
+        with repro.open_session(**session_kwargs) as session:
+            results = session.sweep(
+                problems=problems,
+                orderings=orderings,
+                strategies=strategies,
+                faults=[faults],
+                fault_seed=args.seed,
+                replications=args.replications,
+                store=args.store,
+            )
+    except (ValueError, KeyError) as exc:
+        parser.error(str(exc))
+
+    print(_render(_rows(results), faults, args.format))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -134,10 +134,36 @@ class AnalysisPipeline:
         return self.scale if spec.scale is None else float(spec.scale)
 
     def effective_config(self, spec: CaseSpec) -> SimulationConfig:
-        """The engine config with the case's ``nprocs`` override applied."""
-        if spec.nprocs is None or spec.nprocs == self.config.nprocs:
-            return self.config
-        return self.config.replace(nprocs=int(spec.nprocs))
+        """The engine config with the case's ``nprocs``/``faults`` overrides applied."""
+        cfg = self.config
+        if spec.nprocs is not None and spec.nprocs != cfg.nprocs:
+            cfg = cfg.replace(nprocs=int(spec.nprocs))
+        if getattr(spec, "faults", None):
+            cfg = cfg.replace(
+                faults=str(spec.faults), fault_seed=int(getattr(spec, "fault_seed", 0))
+            )
+        return cfg
+
+    def replication_configs(self, spec: CaseSpec) -> list[SimulationConfig]:
+        """The machine configs one case actually runs.
+
+        A clean case runs once.  A faulted case runs a clean baseline plus
+        ``spec.replications`` faulted replays, each seeded deterministically
+        from the case's ``fault_seed`` (CRC-mixed per replication index, see
+        :func:`repro.faults.replication_seed`) — so the same
+        ``(faults, fault_seed)`` pair reproduces byte-identical results on
+        every backend.
+        """
+        cfg = self.effective_config(spec).replace(track_traces=bool(spec.track_traces))
+        if not cfg.faults:
+            return [cfg]
+        from repro.faults import replication_seed
+
+        reps = max(int(getattr(spec, "replications", 1) or 1), 1)
+        return [cfg.replace(faults=None, fault_seed=0)] + [
+            cfg.replace(fault_seed=replication_seed(cfg.fault_seed, rep))
+            for rep in range(reps)
+        ]
 
     # ------------------------------------------------------------------ #
     # stage resolution
@@ -246,19 +272,43 @@ class AnalysisPipeline:
         """Run the simulation stage of one case (uncached, see SimulationStage)."""
         return self.artifact("simulate", spec)
 
-    def run_case(self, spec: CaseSpec) -> CaseResult:
-        """Run one full case and return its metrics."""
+    def _case_result(self, spec: CaseSpec, sim_results: list[SimulationResult]) -> CaseResult:
+        """Fold one case's simulation run(s) into its :class:`CaseResult`."""
         analysis = self.analysis_for(spec)
-        result = self.simulate(spec)
-        return CaseResult.from_simulation(analysis, spec.strategy, result)
+        if len(sim_results) == 1:
+            return CaseResult.from_simulation(analysis, spec.strategy, sim_results[0])
+        from repro.faults import canonical_faults
+
+        return CaseResult.from_replications(
+            analysis,
+            spec.strategy,
+            sim_results[0],
+            sim_results[1:],
+            faults=canonical_faults(self.effective_config(spec).faults),
+        )
+
+    def run_case(self, spec: CaseSpec) -> CaseResult:
+        """Run one full case and return its metrics.
+
+        A faulted case (``spec.faults`` or an engine config with faults)
+        runs its clean baseline plus the seeded replications in one shared
+        batch — see :meth:`replication_configs`.
+        """
+        if len(self.replication_configs(spec)) == 1:
+            analysis = self.analysis_for(spec)
+            result = self.simulate(spec)
+            return CaseResult.from_simulation(analysis, spec.strategy, result)
+        from repro.pipeline.stages import simulate_batch
+
+        return self._case_result(spec, simulate_batch(self, [spec])[0])
 
     def run_cases_batched(self, specs: Iterable[CaseSpec]) -> list[CaseResult]:
         """Run many cases, batching those that share an analysis.
 
         Specs are grouped by their mapping stage key plus the effective
-        machine config (``track_traces`` aside — it varies freely within a
-        batch); each group runs in-process against one precomputed
-        scheduling geometry and one shared view bank
+        machine config (``track_traces`` and the fault axis aside — they
+        vary freely within a batch); each group runs in-process against one
+        precomputed scheduling geometry and one shared view bank
         (:func:`repro.pipeline.stages.simulate_batch`).  Results come back
         in input order and are bit-identical to :meth:`run_case` one by one.
         """
@@ -269,14 +319,15 @@ class AnalysisPipeline:
         for i, spec in enumerate(specs):
             cfg = self.effective_config(spec)
             cfg_key = tuple(
-                sorted((k, v) for k, v in cfg.__dict__.items() if k != "track_traces")
+                sorted(
+                    (k, v)
+                    for k, v in cfg.__dict__.items()
+                    if k not in ("track_traces", "faults", "fault_seed")
+                )
             )
             groups.setdefault((self.stage_key("mapping", spec), cfg_key), []).append(i)
         results: list[CaseResult | None] = [None] * len(specs)
         for idxs in groups.values():
-            for i, sim_result in zip(idxs, simulate_batch(self, [specs[i] for i in idxs])):
-                spec = specs[i]
-                results[i] = CaseResult.from_simulation(
-                    self.analysis_for(spec), spec.strategy, sim_result
-                )
+            for i, sim_results in zip(idxs, simulate_batch(self, [specs[i] for i in idxs])):
+                results[i] = self._case_result(specs[i], sim_results)
         return results

@@ -19,12 +19,26 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence
 
 from repro.pipeline.engine import AnalysisPipeline, PipelineSettings
 from repro.pipeline.stage import CaseResult, CaseSpec
 
-__all__ = ["SweepExecutor", "ProgressEvent"]
+__all__ = ["SweepExecutor", "ProgressEvent", "WorkerCrashError"]
+
+#: consecutive pool rebuilds before a crashing sweep gives up.
+MAX_POOL_REBUILDS = 3
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (OOM-kill, SIGKILL, hard crash) mid-shard.
+
+    Raised after the dead pool has been dropped, so the next attempt on the
+    same backend/executor starts a fresh pool — which is what makes the
+    error *retryable* (the service daemon counts it toward a job's
+    ``max_attempts`` like any other shard failure).
+    """
 
 
 class ProgressEvent:
@@ -174,29 +188,67 @@ class SweepExecutor:
         total = len(specs)
         done = 0
         results: list[Optional[CaseResult]] = [None] * total
-        if self._pool is None:
-            # the pool is kept for the executor's lifetime: workers are
-            # long-lived engines, so artifacts survive between run() calls
-            # (e.g. the analyses shared by successive tables of `repro all`)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(self.engine.settings(),),
-            )
-        pending = {self._pool.submit(_run_group, group) for group in groups}
-        try:
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    for index, result, seconds in future.result():
-                        results[index] = result
-                        done += 1
-                        if on_result is not None:
-                            on_result(index, specs[index], result)
-                        self._emit(done, total, specs[index], seconds)
-        except BaseException:
-            for future in pending:
-                future.cancel()
-            raise
+        rebuilds = 0
+        remaining = groups
+        while remaining:
+            if self._pool is None:
+                # the pool is kept for the executor's lifetime: workers are
+                # long-lived engines, so artifacts survive between run() calls
+                # (e.g. the analyses shared by successive tables of `repro all`)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(self.engine.settings(),),
+                )
+            crash: Optional[BaseException] = None
+            futures: dict = {}
+            try:
+                for group in remaining:
+                    futures[self._pool.submit(_run_group, group)] = group
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        try:
+                            triples = future.result()
+                        except BrokenProcessPool as exc:
+                            # drain the other futures before recovering: a
+                            # dead worker breaks every in-flight future, but
+                            # groups that already returned keep their results
+                            crash = exc
+                            continue
+                        for index, result, seconds in triples:
+                            results[index] = result
+                            done += 1
+                            if on_result is not None:
+                                on_result(index, specs[index], result)
+                            self._emit(done, total, specs[index], seconds)
+            except BrokenProcessPool as exc:
+                # the pool was already broken at submit time (a worker died
+                # between run() calls); recover exactly like a mid-run crash
+                crash = exc
+                for future in futures:
+                    future.cancel()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            if crash is None:
+                break
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            rebuilds += 1
+            if rebuilds > MAX_POOL_REBUILDS:
+                raise WorkerCrashError(
+                    f"worker pool crashed {rebuilds} times; giving up with "
+                    f"{total - done} of {total} case(s) incomplete"
+                ) from crash
+            # group futures are all-or-nothing: a group either delivered all
+            # its results or none, so resubmit exactly the unfinished groups
+            remaining = [
+                group for group in remaining
+                if any(results[index] is None for index, _spec in group)
+            ]
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]

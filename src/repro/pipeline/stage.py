@@ -49,6 +49,12 @@ class CaseSpec:
     the engine defaults (``None`` = use the engine's value), which is what
     lets one sweep vary the processor count — the paper's "gain vs. number
     of processors" axis — through a single shared executor.
+
+    ``faults`` perturbs the simulated machine with the deterministic fault
+    models of :mod:`repro.faults` (``"stragglers(frac=0.1)+msgloss(p=0.01)"``);
+    ``fault_seed`` seeds their random streams and ``replications`` asks for
+    that many seeded faulted replays per case (plus one clean baseline),
+    summarised into the fault fields of :class:`CaseResult`.
     """
 
     problem: str
@@ -59,6 +65,9 @@ class CaseSpec:
     nprocs: Optional[int] = None
     scale: Optional[float] = None
     split_threshold: Optional[int] = None
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    replications: int = 1
 
     def label(self) -> str:
         """Short human-readable tag used by progress reporting."""
@@ -69,6 +78,8 @@ class CaseSpec:
             parts.append(f"@np{self.nprocs}")
         if self.scale is not None:
             parts.append(f"@x{self.scale:g}")
+        if self.faults:
+            parts.append(f"@faults[{self.faults}]")
         return "".join(parts)
 
     def analysis_signature(self) -> tuple:
@@ -97,7 +108,17 @@ class CaseSpec:
         """JSON-ready form; non-default fields only."""
         data: dict[str, object] = {"problem": self.problem, "ordering": self.ordering}
         defaults = {f.name: f.default for f in fields(self)}
-        for name in ("strategy", "split", "track_traces", "nprocs", "scale", "split_threshold"):
+        for name in (
+            "strategy",
+            "split",
+            "track_traces",
+            "nprocs",
+            "scale",
+            "split_threshold",
+            "faults",
+            "fault_seed",
+            "replications",
+        ):
             value = getattr(self, name)
             if value != defaults[name]:
                 data[name] = value
@@ -173,7 +194,17 @@ class AnalysisProducts:
 
 @dataclass
 class CaseResult:
-    """Outcome of one simulated case."""
+    """Outcome of one simulated case.
+
+    The fault-summary fields are meaningful for replicated faulted cases
+    (see :meth:`from_replications`): the primary metrics then describe the
+    *median* (p50 by makespan) replication, ``makespan_p50`` /
+    ``makespan_p95`` the makespan distribution across replications,
+    ``degradation`` the p50 makespan relative to the unperturbed baseline
+    run, and ``messages_lost`` / ``retries`` the summed message-loss
+    counters.  Clean cases keep the neutral defaults (p50 = p95 =
+    ``total_time``, degradation 1.0).
+    """
 
     problem: str
     ordering: str
@@ -189,11 +220,19 @@ class CaseResult:
     nodes: int
     nodes_split: int
     messages: int
+    faults: str = ""
+    replications: int = 1
+    makespan_p50: float = 0.0
+    makespan_p95: float = 0.0
+    degradation: float = 1.0
+    messages_lost: int = 0
+    retries: int = 0
 
     @classmethod
     def from_simulation(
         cls, analysis: AnalysisProducts, strategy: str, result: "SimulationResult"
     ) -> "CaseResult":
+        counts = result.message_counts
         return cls(
             problem=analysis.problem,
             ordering=analysis.ordering,
@@ -208,8 +247,49 @@ class CaseResult:
             per_proc_peak_stack=result.per_proc_peak_stack,
             nodes=result.nodes,
             nodes_split=analysis.nodes_split,
-            messages=int(sum(result.message_counts.values())),
+            messages=int(sum(counts.values())),
+            makespan_p50=result.total_time,
+            makespan_p95=result.total_time,
+            messages_lost=int(counts.get("msg_lost", 0)),
+            retries=int(counts.get("msg_retries", 0)),
         )
+
+    @classmethod
+    def from_replications(
+        cls,
+        analysis: AnalysisProducts,
+        strategy: str,
+        clean: "SimulationResult",
+        faulted: "list[SimulationResult]",
+        *,
+        faults: str,
+    ) -> "CaseResult":
+        """Summarise a clean baseline plus N seeded faulted replications.
+
+        The primary metrics come from the p50-by-makespan replication (ties
+        broken by replication index, so the pick is deterministic); the
+        percentiles use the nearest-rank method on the sorted makespans —
+        no interpolation, so every value is one actually-simulated float.
+        """
+        if not faulted:
+            raise ValueError("from_replications needs at least one faulted replication")
+        order = sorted(range(len(faulted)), key=lambda i: (faulted[i].total_time, i))
+        n = len(faulted)
+        p50_result = faulted[order[(n - 1) // 2]]
+        p95_result = faulted[order[min(n - 1, max(0, -(-95 * n // 100) - 1))]]
+        case = cls.from_simulation(analysis, strategy, p50_result)
+        case.faults = faults
+        case.replications = n
+        case.makespan_p50 = p50_result.total_time
+        case.makespan_p95 = p95_result.total_time
+        case.degradation = (
+            p50_result.total_time / clean.total_time if clean.total_time > 0 else 1.0
+        )
+        case.messages_lost = int(
+            sum(r.message_counts.get("msg_lost", 0) for r in faulted)
+        )
+        case.retries = int(sum(r.message_counts.get("msg_retries", 0) for r in faulted))
+        return case
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready form (the per-processor peaks become a plain list)."""
@@ -228,6 +308,13 @@ class CaseResult:
             "nodes": self.nodes,
             "nodes_split": self.nodes_split,
             "messages": self.messages,
+            "faults": self.faults,
+            "replications": self.replications,
+            "makespan_p50": float(self.makespan_p50),
+            "makespan_p95": float(self.makespan_p95),
+            "degradation": float(self.degradation),
+            "messages_lost": self.messages_lost,
+            "retries": self.retries,
         }
 
     @classmethod

@@ -167,6 +167,15 @@ class SimulationStage(Stage):
         params = dict(engine.effective_config(spec).__dict__)
         params["strategy"] = canonical_strategy(spec.strategy)
         params["track_traces"] = bool(spec.track_traces)
+        # the fault axis enters only when set (in canonical form), so every
+        # pre-existing clean key is preserved verbatim
+        if params.get("faults"):
+            from repro.faults import canonical_faults
+
+            params["faults"] = canonical_faults(params["faults"])
+        else:
+            params.pop("faults", None)
+            params.pop("fault_seed", None)
         return params
 
     def compute(self, engine, spec: CaseSpec, upstream: Mapping[str, object]):
@@ -188,35 +197,49 @@ def simulate_batch(engine, specs: "list[CaseSpec]"):
     """Simulate case specs sharing one analysis and machine config in a batch.
 
     The specs must agree on everything upstream of the strategy (same mapping
-    key, same config apart from ``track_traces``) — the grouping in
-    :meth:`AnalysisPipeline.run_cases_batched` guarantees this.  One shared
-    :class:`~repro.runtime.geometry.SimGeometry` and view bank serve every
-    run (see :mod:`repro.runtime.batch`); results are bit-identical to the
-    per-case :class:`SimulationStage` path and come back in spec order.
+    key, same config apart from ``track_traces`` and the fault axis) — the
+    grouping in :meth:`AnalysisPipeline.run_cases_batched` guarantees this.
+    One shared :class:`~repro.runtime.geometry.SimGeometry` and view bank
+    serve every run (see :mod:`repro.runtime.batch`); results are
+    bit-identical to the per-case :class:`SimulationStage` path and come back
+    in spec order, one *list* of :class:`SimulationResult` per spec — a
+    single run for clean cases, the clean baseline followed by the seeded
+    faulted replications for faulted ones
+    (:meth:`AnalysisPipeline.replication_configs`).
     """
     from repro.runtime.batch import BatchScenario, run_batch
 
-    engine.stage_runs["simulate"] += len(specs)
     first = specs[0]
     tree = engine.artifact("split", first).tree
     mapping = engine.artifact("mapping", first)
     scenarios = []
+    counts = []
     for spec in specs:
         preset, strategy_params = resolve_strategy(spec.strategy)
-        slave_selector, task_selector = preset.build(**strategy_params)
-        scenarios.append(
-            BatchScenario(
-                slave_selector=slave_selector,
-                task_selector=task_selector,
-                strategy_name=preset.name,
-                config=engine.effective_config(spec).replace(
-                    track_traces=bool(spec.track_traces)
-                ),
+        configs = engine.replication_configs(spec)
+        counts.append(len(configs))
+        for cfg in configs:
+            # fresh selector instances per scenario: selectors may carry
+            # per-run state, and replications must not share it
+            slave_selector, task_selector = preset.build(**strategy_params)
+            scenarios.append(
+                BatchScenario(
+                    slave_selector=slave_selector,
+                    task_selector=task_selector,
+                    strategy_name=preset.name,
+                    config=cfg,
+                )
             )
-        )
-    return run_batch(
+    engine.stage_runs["simulate"] += len(scenarios)
+    flat = run_batch(
         tree, scenarios, config=engine.effective_config(first), mapping=mapping
     )
+    grouped = []
+    offset = 0
+    for count in counts:
+        grouped.append(flat[offset : offset + count])
+        offset += count
+    return grouped
 
 
 #: the stage chain in dependency order, as instantiated by the engine.

@@ -30,9 +30,21 @@ CASE_KEY_VERSION = "1"
 
 
 def case_key(
-    spec: "CaseSpec", *, nprocs: int, scale: float, split_threshold: Optional[int] = None
+    spec: "CaseSpec",
+    *,
+    nprocs: int,
+    scale: float,
+    split_threshold: Optional[int] = None,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    replications: int = 1,
 ) -> str:
-    """The content key of one case at explicit effective parameters."""
+    """The content key of one case at explicit effective parameters.
+
+    The fault axis enters the key only when set (in canonical form, with
+    the seed and replication count that shape the stored summary), so every
+    clean case keeps its seed-era key and stored results stay addressable.
+    """
     params = {
         "problem": spec.problem.upper(),
         "ordering": str(parse_spec(spec.ordering)),
@@ -44,13 +56,23 @@ def case_key(
             spec.split_threshold if split_threshold is None else split_threshold
         ),
     }
+    if faults:
+        from repro.faults import canonical_faults
+
+        params["faults"] = canonical_faults(faults)
+        params["fault_seed"] = int(fault_seed)
+        params["replications"] = int(replications)
     return content_key("result", CASE_KEY_VERSION, params)
 
 
 def case_key_for(engine: "AnalysisPipeline", spec: "CaseSpec") -> str:
     """The content key of one case with ``engine``'s defaults bound in."""
+    cfg = engine.effective_config(spec)
     return case_key(
         spec,
         nprocs=engine.effective_nprocs(spec),
         scale=engine.effective_scale(spec),
+        faults=cfg.faults,
+        fault_seed=cfg.fault_seed,
+        replications=int(getattr(spec, "replications", 1) or 1),
     )

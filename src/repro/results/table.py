@@ -40,7 +40,7 @@ from repro.serialize import check_schema, schema_tag
 __all__ = ["ResultTable", "ResultTableBuilder", "CaseResultView", "RESULT_COLUMNS"]
 
 #: dictionary-encoded string columns, in row-dict order.
-STRING_COLUMNS = ("problem", "ordering", "strategy")
+STRING_COLUMNS = ("problem", "ordering", "strategy", "faults")
 #: plain numeric columns and their dtypes.
 NUMERIC_COLUMNS: tuple[tuple[str, type], ...] = (
     ("split", np.bool_),
@@ -53,6 +53,12 @@ NUMERIC_COLUMNS: tuple[tuple[str, type], ...] = (
     ("nodes", np.int64),
     ("nodes_split", np.int64),
     ("messages", np.int64),
+    ("replications", np.int64),
+    ("makespan_p50", np.float64),
+    ("makespan_p95", np.float64),
+    ("degradation", np.float64),
+    ("messages_lost", np.int64),
+    ("retries", np.int64),
 )
 #: every selectable field of a row dict (``fields=`` validates against this).
 RESULT_COLUMNS = (
@@ -145,6 +151,13 @@ class ResultTable:
             nodes=int(self._numeric["nodes"][i]),
             nodes_split=int(self._numeric["nodes_split"][i]),
             messages=int(self._numeric["messages"][i]),
+            faults=str(self._vocabs["faults"][self._codes["faults"][i]]),
+            replications=int(self._numeric["replications"][i]),
+            makespan_p50=float(self._numeric["makespan_p50"][i]),
+            makespan_p95=float(self._numeric["makespan_p95"][i]),
+            degradation=float(self._numeric["degradation"][i]),
+            messages_lost=int(self._numeric["messages_lost"][i]),
+            retries=int(self._numeric["retries"][i]),
         )
 
     def view(self) -> "CaseResultView":
@@ -178,7 +191,15 @@ class ResultTable:
                 columns[name] = [str(v) for v in self.column(name)]
             elif name in ("split",):
                 columns[name] = [bool(v) for v in self._numeric[name]]
-            elif name in ("nprocs", "nodes", "nodes_split", "messages"):
+            elif name in (
+                "nprocs",
+                "nodes",
+                "nodes_split",
+                "messages",
+                "replications",
+                "messages_lost",
+                "retries",
+            ):
                 columns[name] = [int(v) for v in self._numeric[name]]
             else:
                 columns[name] = [float(v) for v in self._numeric[name]]
@@ -201,6 +222,7 @@ class ResultTable:
         strategy: object = None,
         split: Optional[bool] = None,
         nprocs: object = None,
+        faults: object = None,
     ) -> "ResultTable":
         """Rows matching every given predicate, evaluated on columns.
 
@@ -208,7 +230,12 @@ class ResultTable:
         matched verbatim (canonicalise upstream — the service does).
         """
         mask = np.ones(len(self), dtype=bool)
-        for name, value in (("problem", problem), ("ordering", ordering), ("strategy", strategy)):
+        for name, value in (
+            ("problem", problem),
+            ("ordering", ordering),
+            ("strategy", strategy),
+            ("faults", faults),
+        ):
             if value is not None:
                 mask &= self._string_mask(name, value)  # type: ignore[arg-type]
         if split is not None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "SimulationConfig",
@@ -55,6 +56,14 @@ class SimulationConfig:
         benchmarks; costs memory for big runs).
     imbalance_tolerance, min_subtrees_per_proc:
         Geist-Ng layer construction parameters.
+    faults:
+        Optional fault-injection spec in the mini-language of
+        :mod:`repro.faults` (``"stragglers(frac=0.1)+msgloss(p=0.01)"``).
+        ``None`` (the default) keeps every engine bit-identical to the
+        unperturbed machine.
+    fault_seed:
+        Seed of the deterministic fault-model random streams; only
+        meaningful when ``faults`` is set.
     """
 
     nprocs: int = 32
@@ -72,6 +81,8 @@ class SimulationConfig:
     imbalance_tolerance: float = 1.25
     min_subtrees_per_proc: float = 1.0
     subtree_cost: str = "flops"
+    faults: Optional[str] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -84,6 +95,12 @@ class SimulationConfig:
             raise ValueError("min_rows_per_slave must be >= 1")
         if self.max_slaves_per_node < 0:
             raise ValueError("max_slaves_per_node must be >= 0")
+        if self.faults == "":
+            # "" and None must not address distinct cache keys for the same
+            # (unperturbed) machine
+            self.faults = None
+        if self.fault_seed < 0:
+            raise ValueError("fault_seed must be >= 0")
 
     @classmethod
     def paper(cls, nprocs: int = 32, **overrides) -> "SimulationConfig":

@@ -280,6 +280,20 @@ class FactorizationSimulator:
             bandwidth_entries=self.config.bandwidth_entries,
             small_message_latency=self.config.memory_message_latency,
         )
+        # deterministic fault injection: the compiled plan (or None) plus one
+        # message-loss draw stream per simulator run.  ``faults=None`` must
+        # keep every engine bit-identical, so the plan gates each perturbed
+        # expression behind an explicit ``is None`` branch.
+        if self.config.faults:
+            from repro.faults import FaultPlan  # deferred: keeps runtime importable alone
+
+            self.fault_plan = FaultPlan.compile(
+                self.config.faults, nprocs=self.config.nprocs, seed=self.config.fault_seed
+            )
+            self._fault_msg = self.fault_plan.message_stream()
+        else:
+            self.fault_plan = None
+            self._fault_msg = None
         # all queues order events by (time, seq) and receive identical push
         # sequences, so the engines pop events in exactly the same order
         self.queue = EventQueue() if exec_engine == "reference" else FlatEventQueue()
@@ -536,11 +550,21 @@ class FactorizationSimulator:
         elif kind == TaskKind.TYPE2_MASTER:
             duration = self._activate_type2_master(task, now)
         elif kind == TaskKind.TYPE2_SLAVE:
-            duration = task.flops / self.config.flop_rate
+            if self.fault_plan is None:
+                duration = task.flops / self.config.flop_rate
+            else:
+                duration = task.flops / self.config.flop_rate * self.fault_plan.speed_at(
+                    task.proc, now
+                )
         elif kind == TaskKind.ROOT_SHARE:
             p.memory.allocate_stack(task.memory_cost, now)
             self._memory_changed(task.proc)
-            duration = task.flops / self.config.flop_rate
+            if self.fault_plan is None:
+                duration = task.flops / self.config.flop_rate
+            else:
+                duration = task.flops / self.config.flop_rate * self.fault_plan.speed_at(
+                    task.proc, now
+                )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown task kind {task.kind}")
         self.queue.push_task_done(now + duration, task.proc, task)
@@ -600,11 +624,17 @@ class FactorizationSimulator:
         p.memory.allocate_stack(self._front_entries[node], now)
         self._memory_changed(task.proc)
         cfg = self.config
-        duration = (
-            comm_time
-            + self._assembly_flops[node] / cfg.assembly_rate
-            + self._task_flops[node] / cfg.flop_rate
-        )
+        if self.fault_plan is None:
+            duration = (
+                comm_time
+                + self._assembly_flops[node] / cfg.assembly_rate
+                + self._task_flops[node] / cfg.flop_rate
+            )
+        else:
+            duration = comm_time + (
+                self._assembly_flops[node] / cfg.assembly_rate
+                + self._task_flops[node] / cfg.flop_rate
+            ) * self.fault_plan.speed_at(task.proc, now)
         return duration
 
     def _release_children_cbs(self, node: int, now: float, observer: int | None = None) -> tuple[float, float]:
@@ -710,7 +740,14 @@ class FactorizationSimulator:
                 master=task.proc,
                 extra_transient=slave_assembly,
             )
-            self.queue.push_message_after(descriptor_delay, Message(
+            delay = descriptor_delay
+            if self._fault_msg is not None:
+                penalty, retries = self.fault_plan.message_penalty(self._fault_msg)
+                if retries:
+                    self.message_counts["msg_lost"] += 1
+                    self.message_counts["msg_retries"] += retries
+                delay = descriptor_delay + penalty
+            self.queue.push_message_after(delay, Message(
                 kind=MessageKind.SLAVE_TASK, source=task.proc, dest=q, node=node,
                 rows=rows, entries=int(block), payload={"task": slave_task},
             ))
@@ -725,11 +762,17 @@ class FactorizationSimulator:
             )
             self.message_counts["reservation"] += cfg.nprocs - 1
 
-        duration = (
-            comm_time
-            + self._assembly_flops[node] / cfg.assembly_rate
-            + self._task_flops[node] / cfg.flop_rate
-        )
+        if self.fault_plan is None:
+            duration = (
+                comm_time
+                + self._assembly_flops[node] / cfg.assembly_rate
+                + self._task_flops[node] / cfg.flop_rate
+            )
+        else:
+            duration = comm_time + (
+                self._assembly_flops[node] / cfg.assembly_rate
+                + self._task_flops[node] / cfg.flop_rate
+            ) * self.fault_plan.speed_at(task.proc, now)
         return duration
 
     # ------------------------------------------------------------------ #
@@ -852,8 +895,15 @@ class FactorizationSimulator:
         if child_owner == parent_owner:
             self._on_child_completed(parent, now)
         else:
+            delay = self.comm.notification_time()
+            if self._fault_msg is not None:
+                penalty, retries = self.fault_plan.message_penalty(self._fault_msg)
+                if retries:
+                    self.message_counts["msg_lost"] += 1
+                    self.message_counts["msg_retries"] += retries
+                delay = delay + penalty
             self.queue.push_message_after(
-                self.comm.notification_time(),
+                delay,
                 Message(
                     kind=MessageKind.CHILD_COMPLETED, source=child_owner, dest=parent_owner, node=parent,
                 ),

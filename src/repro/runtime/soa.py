@@ -156,6 +156,12 @@ def run_soa(sim, *, kernels=None):
     task_mode = sim._soa_task_mode
     slave_select = sim.slave_selector.select
     normalize_rows = normalize_row_distribution
+    # fault injection (hoisted; ``plan is None`` keeps every expression and
+    # event route byte-identical to the unperturbed engine)
+    plan = sim.fault_plan
+    speed_at = plan.speed_at if plan is not None else None
+    msg_stream = sim._fault_msg
+    msg_penalty = plan.message_penalty if msg_stream is not None else None
 
     # ---------------- geometry (hoisted plain-list mirrors) ---------------- #
     tflops = geom.task_flops
@@ -259,6 +265,7 @@ def run_soa(sim, *, kernels=None):
     # ---------------- message counters ------------------------------------- #
     c_mem = c_load = c_sub = c_pred = 0
     c_cbt = c_stask = c_resv = c_sdone = c_child = c_root = 0
+    c_lost = c_retr = 0
     root_seen = False
     n_sel = 0
 
@@ -337,7 +344,7 @@ def run_soa(sim, *, kernels=None):
             c_sub += n1
 
     def complete_node(node):
-        nonlocal seq, finished, c_child
+        nonlocal seq, finished, c_child, c_lost, c_retr
         if completed[node]:
             raise RuntimeError(f"node {node} completed twice")
         completed[node] = True
@@ -354,7 +361,18 @@ def run_soa(sim, *, kernels=None):
         if co == po:
             on_child_completed(par)
         else:
-            nq.append((now + notif, seq, EV_CHILD_COMPLETED, par, 0, 0))
+            if msg_penalty is None:
+                nq.append((now + notif, seq, EV_CHILD_COMPLETED, par, 0, 0))
+            else:
+                # a loss-delayed relay would break the FIFO deque's monotone
+                # timestamps, so under msgloss these events go to the heap —
+                # the pop site merges both fronts by (time, seq), so the
+                # route does not affect ordering
+                penalty, retries = msg_penalty(msg_stream)
+                if retries:
+                    c_lost += 1
+                    c_retr += retries
+                heappush(heap, (now + (notif + penalty), seq, EV_CHILD_COMPLETED, par, 0, 0))
             seq += 1
             c_child += 1
 
@@ -481,7 +499,7 @@ def run_soa(sim, *, kernels=None):
             mem_log.clear()
 
     def activate_t2(tid, q, node):
-        nonlocal seq, c_cbt, c_stask, c_resv, n_sel
+        nonlocal seq, c_cbt, c_stask, c_resv, n_sel, c_lost, c_retr
         if lazy:
             flush_views()
         sub = t_sub[tid]
@@ -564,7 +582,16 @@ def run_soa(sim, *, kernels=None):
                 t_sub.append(-1)
                 t_master.append(q)
                 t_extra.append(sasm)
-                heappush(heap, (t_arrive, seq, EV_SLAVE_TASK, sq2, stid, 0))
+                if msg_penalty is None:
+                    heappush(heap, (t_arrive, seq, EV_SLAVE_TASK, sq2, stid, 0))
+                else:
+                    penalty, retries = msg_penalty(msg_stream)
+                    if retries:
+                        c_lost += 1
+                        c_retr += retries
+                    heappush(
+                        heap, (now + (desc_delay + penalty), seq, EV_SLAVE_TASK, sq2, stid, 0)
+                    )
                 seq += 1
                 c_stask += 1
                 # the master immediately accounts for its own decision
@@ -575,7 +602,9 @@ def run_soa(sim, *, kernels=None):
                 nq.append((now + notif, seq, EV_RESERVATION, q, reservations, 0))
                 seq += 1
                 c_resv += n1
-        return comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+        if plan is None:
+            return comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+        return comm + (g_asm[node] / asm_rate + tflops[node] / flop_rate) * speed_at(q, now)
 
     def activate(tid, q):
         nonlocal seq, c_cbt
@@ -612,15 +641,26 @@ def run_soa(sim, *, kernels=None):
                 mem_changed(q)
             _alloc(q, g_front[node])
             mem_changed(q)
-            duration = comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+            if plan is None:
+                duration = comm + g_asm[node] / asm_rate + tflops[node] / flop_rate
+            else:
+                duration = comm + (
+                    g_asm[node] / asm_rate + tflops[node] / flop_rate
+                ) * speed_at(q, now)
         elif k == K_TYPE2_MASTER:
             duration = activate_t2(tid, q, node)
         elif k == K_TYPE2_SLAVE:
-            duration = t_flops[tid] / flop_rate
+            if plan is None:
+                duration = t_flops[tid] / flop_rate
+            else:
+                duration = t_flops[tid] / flop_rate * speed_at(q, now)
         else:  # K_ROOT_SHARE
             _alloc(q, t_mem[tid])
             mem_changed(q)
-            duration = t_flops[tid] / flop_rate
+            if plan is None:
+                duration = t_flops[tid] / flop_rate
+            else:
+                duration = t_flops[tid] / flop_rate * speed_at(q, now)
         heappush(heap, (now + duration, seq, EV_TASK_DONE, q, tid, 0))
         seq += 1
 
@@ -886,6 +926,8 @@ def run_soa(sim, *, kernels=None):
         ("reservation", c_resv),
         ("slave_done", c_sdone),
         ("child_completed", c_child),
+        ("msg_lost", c_lost),
+        ("msg_retries", c_retr),
     ):
         if count:
             message_counts[name] = count

@@ -44,12 +44,13 @@ SCHEMA_FIELD = "schema"
 SCHEMA_VERSIONS: dict[str, int] = {
     "case_spec": 1,
     "case_result": 1,
+    "fault_spec": 1,
     "sweep_spec": 1,
     "job_spec": 1,
     "job_record": 1,
     "bench_case": 1,
     "bench_result": 1,
-    "result_table": 1,
+    "result_table": 2,
     "trace": 1,
     "tune_spec": 1,
     "leaderboard": 1,

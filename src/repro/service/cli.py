@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=1, help="shard width: 1 = in-process batched, >1 = process pool")
     serve.add_argument("--workers", type=int, default=1, help="job worker threads (default 1)")
     serve.add_argument("--shard-size", type=int, default=None, help="max cases per shard (default: per analysis group)")
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="backpressure bound: POST /jobs answers 503 + Retry-After while this many jobs are queued (default: unbounded)",
+    )
     serve.add_argument("--ttl", type=float, default=None, metavar="SECONDS", help="result-cache TTL (default: no expiry)")
     serve.add_argument("--max-entries", type=int, default=None, help="result-cache LRU entry budget")
     serve.add_argument("--max-bytes", type=int, default=None, help="result-cache LRU byte budget")
@@ -107,6 +111,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         workers=args.workers,
         shard_size=args.shard_size,
+        max_pending=args.max_pending,
         ttl_s=args.ttl,
         max_entries=args.max_entries,
         max_bytes=args.max_bytes,
@@ -239,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--workers must be >= 1")
         if args.shard_size is not None and args.shard_size < 1:
             parser.error("--shard-size must be >= 1")
+        if args.max_pending is not None and args.max_pending < 1:
+            parser.error("--max-pending must be >= 1")
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)

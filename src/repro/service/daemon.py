@@ -49,7 +49,26 @@ from repro.service.shards import (
 )
 from repro.specs import parse_spec
 
-__all__ = ["QueryOutcome", "SweepService", "result_key", "case_spec_from_query"]
+__all__ = [
+    "QueryOutcome",
+    "QueueSaturated",
+    "SweepService",
+    "result_key",
+    "case_spec_from_query",
+]
+
+
+class QueueSaturated(RuntimeError):
+    """The job queue is at its ``max_pending`` depth; resubmit later.
+
+    The HTTP layer maps this to ``503`` with a ``Retry-After`` header, so
+    well-behaved clients back off instead of growing the journal without
+    bound while the workers are behind.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 #: schema version of the cached *table* payloads; bump to invalidate them all.
 _RESULT_VERSION = "1"
@@ -146,6 +165,10 @@ class SweepService:
         First retry backoff in seconds (doubles per attempt).
     journal_fsync:
         ``False`` trades crash-safety for faster job turnover (tests, CI).
+    max_pending:
+        Backpressure bound on the queue depth: a submission arriving while
+        ``queued >= max_pending`` raises :class:`QueueSaturated` (HTTP 503
+        with ``Retry-After``).  ``None`` (the default) never rejects.
     """
 
     def __init__(
@@ -163,10 +186,13 @@ class SweepService:
         max_bytes: Optional[int] = None,
         retry_base_delay: float = 0.1,
         journal_fsync: bool = True,
+        max_pending: Optional[int] = None,
         backend: Optional[ShardBackend] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         from repro.experiments.runner import ExperimentRunner  # lazy: import cycle hygiene
 
         self.data_dir = Path(data_dir)
@@ -194,6 +220,7 @@ class SweepService:
         self.jobs = jobs
         self.workers = workers
         self.shard_size = shard_size
+        self.max_pending = max_pending
         self.retry_base_delay = retry_base_delay
         self.started_at = time.time()
         self._engine_lock = threading.RLock()
@@ -236,9 +263,24 @@ class SweepService:
     # ------------------------------------------------------------------ #
     # submission and queries (HTTP-facing)
     # ------------------------------------------------------------------ #
+    def queue_depth(self) -> int:
+        """Jobs waiting to be claimed (the backpressure signal)."""
+        return int(self.queue.counts()["queued"])
+
+    def saturated(self) -> bool:
+        """Whether a submission arriving now would be rejected."""
+        return self.max_pending is not None and self.queue_depth() >= self.max_pending
+
     def submit(self, spec: JobSpec | Mapping[str, object]) -> JobRecord:
         if not isinstance(spec, JobSpec):
             spec = JobSpec.from_dict(spec)
+        # validate the spec *before* the saturation check: a malformed
+        # submission should always say 400, not sometimes 503
+        if self.saturated():
+            raise QueueSaturated(
+                f"job queue is saturated ({self.queue_depth()} queued >= "
+                f"max_pending={self.max_pending}); retry later"
+            )
         return self.queue.submit(spec)
 
     def query(self, params: Mapping[str, str], *, compute: bool = True) -> QueryOutcome:
@@ -410,6 +452,9 @@ class SweepService:
                 "shard_size": self.shard_size,
             },
             "jobs": self.queue.counts(),
+            "queue_depth": self.queue_depth(),
+            "saturated": self.saturated(),
+            "max_pending": self.max_pending,
             "recovered_jobs": self.queue.recovered,
             "cache": self.cache.stats().to_dict(),
             "results": self.results.stats(),

@@ -5,7 +5,9 @@ dependencies.  Endpoints:
 
 ========================  ==========================================================
 ``GET  /healthz``          liveness + queue/cache/store/engine counters
-``POST /jobs``             submit a sweep job (JSON body: a ``JobSpec`` dict)
+``POST /jobs``             submit a sweep job (JSON body: a ``JobSpec`` dict);
+                           answers ``503`` with a ``Retry-After`` header when
+                           the queue is at its ``max_pending`` depth
 ``GET  /jobs``             list jobs (most recent first)
 ``GET  /jobs/<id>``        one job's status/progress
 ``GET  /results``          paginated listing from the columnar result store
@@ -177,8 +179,17 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             self._error(400, "request body must be a JSON object (a JobSpec)")
             return
+        from repro.service.daemon import QueueSaturated
+
         try:
             record = self.server.service.submit(payload)
+        except QueueSaturated as exc:
+            self._send(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(int(exc.retry_after))},
+            )
+            return
         except (ValueError, KeyError, TypeError) as exc:
             self._error(400, str(exc))
             return

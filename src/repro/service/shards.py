@@ -21,14 +21,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
 from repro.pipeline.engine import AnalysisPipeline
-from repro.pipeline.executor import _init_worker, _run_group
+from repro.pipeline.executor import WorkerCrashError, _init_worker, _run_group
 from repro.pipeline.stage import CaseResult, CaseSpec
 
 __all__ = [
     "ShardTimeout",
+    "WorkerCrashError",
     "partition_shards",
     "ShardBackend",
     "InlineShardBackend",
@@ -131,14 +133,23 @@ class ProcessShardBackend(ShardBackend):
     def run_shard(
         self, specs: Sequence[CaseSpec], *, timeout_s: Optional[float] = None
     ) -> list[CaseResult]:
-        future = self._ensure_pool().submit(_run_group, list(enumerate(specs)))
         try:
+            future = self._ensure_pool().submit(_run_group, list(enumerate(specs)))
             triples = future.result(timeout=timeout_s)
         except FutureTimeoutError:
             future.cancel()
             raise ShardTimeout(
                 f"shard of {len(specs)} case(s) exceeded {timeout_s:.1f}s"
             ) from None
+        except BrokenProcessPool as exc:
+            # a worker died (OOM-kill, SIGKILL, hard crash): drop the dead
+            # pool so the next attempt starts a fresh one, and surface the
+            # shard as a retryable failure — the daemon's retry loop counts
+            # it toward the job's max_attempts like any other shard error
+            self.close()
+            raise WorkerCrashError(
+                f"worker process died while running a shard of {len(specs)} case(s)"
+            ) from exc
         results: list[Optional[CaseResult]] = [None] * len(specs)
         for index, result, _seconds in triples:
             results[index] = result

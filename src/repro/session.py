@@ -219,7 +219,15 @@ class Session:
 
         Results come back in grid order (problem-major, see
         :meth:`SweepSpec.expand`) whatever the execution order was, so the
-        parallel path is a drop-in for the serial one.  ``batch=True`` runs
+        parallel path is a drop-in for the serial one.
+
+        A ``faults`` axis (fault specs, see :mod:`repro.faults`) turns cases
+        into replicated fault studies: each faulted case runs a clean
+        baseline plus ``replications`` seeded faulted replays and its
+        :class:`CaseResult` carries the fault summary (``makespan_p50`` /
+        ``makespan_p95``, ``degradation``, ``messages_lost``, ``retries``).
+        The same ``(faults, fault_seed)`` pair always reproduces
+        byte-identical results — see ``docs/robustness.md``.  ``batch=True`` runs
         the grid in-process with per-analysis batching (see
         :meth:`run_cases`) — usually the fastest option when the grid sweeps
         many strategies over few problems.

@@ -263,7 +263,14 @@ class SweepSpec:
 
     :meth:`expand` produces the cartesian product in problem-major order
     (problems × orderings × strategies × split × nprocs × scale ×
-    split_threshold), the order the results come back in.
+    split_threshold × faults), the order the results come back in.
+
+    ``faults`` is an axis of fault-injection specs in the mini-language of
+    :mod:`repro.faults` (``None`` = the unperturbed machine); ``fault_seed``
+    and ``replications`` are scalar knobs applied to every *faulted* case of
+    the grid — clean cases keep their defaults, so a sweep mixing ``None``
+    with fault specs leaves the clean cases byte-identical to a sweep
+    without the fault axis.
     """
 
     problems: Sequence[str] = ()
@@ -273,7 +280,10 @@ class SweepSpec:
     nprocs: Sequence[int | None] = (None,)
     scale: Sequence[float | None] = (None,)
     split_threshold: Sequence[int | None] = (None,)
+    faults: Sequence[str | None] = (None,)
     track_traces: bool = False
+    fault_seed: int = 0
+    replications: int = 1
 
     def __post_init__(self) -> None:
         self.problems = _axis(self.problems, scalar_types=(str,))
@@ -283,6 +293,7 @@ class SweepSpec:
         self.nprocs = _axis(self.nprocs, scalar_types=(int,))
         self.scale = _axis(self.scale, scalar_types=(int, float))
         self.split_threshold = _axis(self.split_threshold, scalar_types=(int,))
+        self.faults = _axis(self.faults, scalar_types=(str,))
         if self.problems == (None,):
             raise ValueError("SweepSpec needs at least one problem")
         # an explicitly empty axis would otherwise surface as an opaque
@@ -299,6 +310,24 @@ class SweepSpec:
         self._check_axis("nprocs", self.nprocs, (int,), allow_none=True)
         self._check_axis("scale", self.scale, (int, float), allow_none=True)
         self._check_axis("split_threshold", self.split_threshold, (int,), allow_none=True)
+        self._check_axis("faults", self.faults, (str,), allow_none=True)
+        if not isinstance(self.fault_seed, int) or isinstance(self.fault_seed, bool):
+            raise ValueError(f"SweepSpec fault_seed must be an int, got {self.fault_seed!r}")
+        if self.fault_seed < 0:
+            raise ValueError("SweepSpec fault_seed must be >= 0")
+        if not isinstance(self.replications, int) or isinstance(self.replications, bool):
+            raise ValueError(
+                f"SweepSpec replications must be an int, got {self.replications!r}"
+            )
+        if self.replications < 1:
+            raise ValueError("SweepSpec replications must be >= 1")
+        # parse eagerly so a malformed fault spec fails at declaration time,
+        # not deep inside a worker process
+        for value in self.faults:
+            if value is not None:
+                from repro.faults import parse_faults  # deferred: faults imports specs
+
+                parse_faults(value)
 
     @staticmethod
     def _check_axis(
@@ -321,12 +350,19 @@ class SweepSpec:
         return (
             len(self.problems) * len(self.orderings) * len(self.strategies)
             * len(self.split) * len(self.nprocs) * len(self.scale)
-            * len(self.split_threshold)
+            * len(self.split_threshold) * len(self.faults)
         )
 
     def expand(self) -> list["CaseSpec"]:
         """The grid as explicit :class:`~repro.pipeline.stage.CaseSpec` values."""
         from repro.pipeline.stage import CaseSpec  # deferred: stage imports this module
+
+        def canonical_fault_axis(value):
+            if value is None:
+                return None
+            from repro.faults import canonical_faults
+
+            return canonical_faults(value)
 
         return [
             CaseSpec(
@@ -338,6 +374,11 @@ class SweepSpec:
                 nprocs=nprocs,
                 scale=scale,
                 split_threshold=split_threshold,
+                faults=canonical_fault_axis(faults),
+                # the scalar fault knobs bind to faulted cases only, so the
+                # clean points of a mixed grid keep their seed-era specs
+                fault_seed=self.fault_seed if faults is not None else 0,
+                replications=self.replications if faults is not None else 1,
             )
             for problem in self.problems
             for ordering in self.orderings
@@ -346,6 +387,7 @@ class SweepSpec:
             for nprocs in self.nprocs
             for scale in self.scale
             for split_threshold in self.split_threshold
+            for faults in self.faults
         ]
 
     def to_dict(self) -> dict[str, object]:
@@ -357,7 +399,10 @@ class SweepSpec:
             "nprocs": list(self.nprocs),
             "scale": list(self.scale),
             "split_threshold": list(self.split_threshold),
+            "faults": list(self.faults),
             "track_traces": self.track_traces,
+            "fault_seed": self.fault_seed,
+            "replications": self.replications,
         }
 
     @classmethod

@@ -34,6 +34,7 @@ __all__ = [
     "PeakMemoryObjective",
     "AvgMemoryObjective",
     "WeightedObjective",
+    "RobustnessObjective",
     "OBJECTIVES",
     "make_objective",
     "aggregate",
@@ -110,6 +111,38 @@ class WeightedObjective(Objective):
         return score
 
 
+class RobustnessObjective(Objective):
+    """Degradation under injected faults (see :mod:`repro.faults`).
+
+    Scores the fault-summary fields of a replicated faulted case: ``p95``
+    (default) and ``p50`` rank by the tail / median makespan across
+    replications, ``degradation`` by the p50 makespan relative to the
+    unperturbed baseline.  Clean results fall back to ``total_time`` (for
+    the makespan metrics) or the neutral 1.0 degradation, so a mixed
+    leaderboard stays well-ordered.
+    """
+
+    name = "robustness"
+
+    _METRICS = ("p95", "p50", "degradation")
+
+    def __init__(self, metric: str = "p95") -> None:
+        metric = str(metric)
+        if metric not in self._METRICS:
+            raise ValueError(
+                f"robustness metric must be one of {self._METRICS}, got {metric!r}"
+            )
+        self.metric = metric
+
+    def score(self, result: "CaseResult") -> float:
+        if self.metric == "degradation":
+            return float(getattr(result, "degradation", 1.0))
+        value = float(getattr(result, f"makespan_{self.metric}", 0.0))
+        # results stored before the fault layer carry 0.0 here — fall back
+        # to the plain makespan so old rows still rank sensibly
+        return value if value > 0.0 else float(result.total_time)
+
+
 OBJECTIVES: Registry = Registry("objective")
 OBJECTIVES.add(
     "makespan",
@@ -131,6 +164,12 @@ OBJECTIVES.add(
     WeightedObjective,
     description="weighted log-space combination of peak memory and makespan",
     params={"memory": 1.0, "time": 1.0},
+)
+OBJECTIVES.add(
+    "robustness",
+    RobustnessObjective,
+    description="faulted makespan tail (p95/p50) or degradation vs clean",
+    params={"metric": "p95"},
 )
 
 

@@ -91,6 +91,65 @@ class TestBenchHistory:
         assert "baselines" in default_history_dir()
 
 
+class TestCrashReplayParity:
+    """A crash at any point of :meth:`BenchHistory.append` is survivable."""
+
+    def test_torn_trailing_line_then_append_continues(self, tmp_path):
+        # crash mid-manifest-append: the torn line is ignored and the next
+        # append lands after it without corrupting the replay
+        history = BenchHistory(tmp_path)
+        history.append(_run("2026-08-07T10:00:00+00:00"))
+        with open(history.manifest_path, "ab") as fh:
+            fh.write(b'{"op":"run","fi')
+        history.append(_run("2026-08-08T10:00:00+00:00"))
+        assert len(history) == 2
+        assert len(list(history.runs())) == 2
+        assert history.replay_skipped == 0
+
+    def test_orphan_run_file_adopted(self, tmp_path):
+        # crash between the two append steps: the run file exists, its
+        # manifest line does not — adopt_orphans repairs the manifest
+        history = BenchHistory(tmp_path)
+        history.append(_run("2026-08-07T10:00:00+00:00"))
+        orphan = _run("2026-08-08T10:00:00+00:00", seconds=(0.9, 0.8))
+        orphan.save(str(tmp_path / "run-orphaned-ci.json"))
+        assert len(history) == 1  # invisible until adopted
+
+        adopted = history.adopt_orphans()
+        assert adopted == ["run-orphaned-ci.json"]
+        assert len(history) == 2
+        assert [p.best for p in history.trajectory("pipeline/full_sweep")] == [0.1, 0.8]
+        # idempotent: a second repair adopts nothing and changes nothing
+        before = history.manifest_path.read_bytes()
+        assert history.adopt_orphans() == []
+        assert history.manifest_path.read_bytes() == before
+
+    def test_unloadable_files_are_counted_not_adopted(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append(_run("2026-08-07T10:00:00+00:00"))
+        # a manifested file whose contents were later corrupted...
+        (manifested,) = [name for name, _ in history.runs()]
+        (tmp_path / manifested).write_text("{broken json")
+        # ...and an orphan that never finished writing
+        (tmp_path / "run-torn-ci.json").write_text('{"host": "ci"')
+
+        assert history.adopt_orphans() == []
+        assert history.replay_skipped == 1  # the unloadable orphan
+        assert list(history.runs()) == []
+        assert history.replay_skipped == 1  # the corrupted manifested file
+        assert len(history) == 1  # the manifest line itself survives
+
+    def test_replay_skipped_resets_per_pass(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.append(_run("2026-08-07T10:00:00+00:00"))
+        with open(history.manifest_path, "ab") as fh:
+            fh.write(b'{"op":"run","file":"run-ghost.json"}\n')
+        assert len(list(history.runs())) == 1
+        assert history.replay_skipped == 1
+        assert len(list(history.runs())) == 1
+        assert history.replay_skipped == 1  # counted fresh, not accumulated
+
+
 class TestBenchHistoryCli:
     @pytest.fixture()
     def populated(self, tmp_path):

@@ -259,6 +259,130 @@ class TestBatchIdentity:
             np.testing.assert_array_equal(a.per_proc_peak_stack, b.per_proc_peak_stack)
 
 
+#: fault specs exercising every injection site: static per-proc speeds,
+#: transient slowdown windows, and message loss-and-retry (heap-routed
+#: child-completed events in the SoA engine).
+FAULT_SPECS = [
+    "stragglers(frac=0.4,slowdown=4.0)",
+    "stragglers(frac=0.2,slowdown=2.5)+msgloss(p=0.2,retry_timeout=5e-4)"
+    "+slowdown(n=2,span=0.001,duration=0.0005,factor=3.0)",
+]
+
+
+class TestFaultIdentity:
+    """Fault injection keeps every engine bit-identical to the reference —
+    and ``faults=None`` keeps every engine bit-identical to the clean seed
+    behaviour (the faults-off leg of the acceptance criteria)."""
+
+    #: a subset of the clean matrix: enough shape/latency/strategy diversity
+    #: without doubling the suite's runtime
+    FAULT_SCENARIOS = [SCENARIOS[i] for i in (0, 2, 4, 6, 7, 9, 11)]
+
+    @staticmethod
+    def _setup(seed, nprocs, latency, mem_latency, traces, faults):
+        tree = random_tree(seed)
+        config = SimulationConfig(
+            nprocs=nprocs,
+            type2_front_threshold=24,
+            type2_cb_threshold=6,
+            type3_front_threshold=72,
+            latency=latency,
+            memory_message_latency=mem_latency,
+            min_rows_per_slave=2,
+            track_traces=traces,
+            faults=faults,
+            fault_seed=seed + 17,
+        )
+        mapping = compute_mapping(
+            tree,
+            nprocs,
+            type2_front_threshold=config.type2_front_threshold,
+            type2_cb_threshold=config.type2_cb_threshold,
+            type3_front_threshold=config.type3_front_threshold,
+        )
+        return tree, config, mapping
+
+    @pytest.mark.parametrize("faults", FAULT_SPECS)
+    @pytest.mark.parametrize(
+        "seed,nprocs,strategy,latency,mem_latency,traces", FAULT_SCENARIOS
+    )
+    def test_faulted_engines_identical(
+        self, seed, nprocs, strategy, latency, mem_latency, traces, faults
+    ):
+        tree, config, mapping = self._setup(
+            seed, nprocs, latency, mem_latency, traces, faults
+        )
+        ref = run_engine(tree, config, mapping, strategy, "reference")
+        for engine in OPTIMIZED_ENGINES:
+            opt = run_engine(tree, config, mapping, strategy, engine)
+            assert_identical(opt, ref, traces=traces)
+
+    @pytest.mark.parametrize(
+        "seed,nprocs,strategy,latency,mem_latency,traces", FAULT_SCENARIOS
+    )
+    def test_faults_off_identical_to_clean(
+        self, seed, nprocs, strategy, latency, mem_latency, traces
+    ):
+        """faults=None must leave every engine exactly on the clean path."""
+        tree, config, mapping = self._setup(
+            seed, nprocs, latency, mem_latency, traces, None
+        )
+        clean = config.replace(fault_seed=0)
+        assert clean.faults is None
+        ref = run_engine(tree, clean, mapping, strategy, "reference")
+        for engine in OPTIMIZED_ENGINES:
+            assert_identical(run_engine(tree, clean, mapping, strategy, engine),
+                             ref, traces=traces)
+
+    def test_same_seed_reproduces_different_seed_diverges(self):
+        tree, config, mapping = self._setup(2, 4, 20.0e-6, 20.0e-6, False, FAULT_SPECS[1])
+        a = run_engine(tree, config, mapping, "memory-full", "soa")
+        b = run_engine(tree, config, mapping, "memory-full", "soa")
+        assert_identical(a, b)
+        other = config.replace(fault_seed=config.fault_seed + 1)
+        c = run_engine(tree, other, mapping, "memory-full", "soa")
+        assert c.total_time != a.total_time
+
+    def test_faults_change_the_outcome(self):
+        """The injection actually bites: total_time grows under stragglers."""
+        tree, config, mapping = self._setup(
+            4, 8, 0.0, 0.0, False, "stragglers(frac=1.0,slowdown=4.0)"
+        )
+        clean_cfg = config.replace(faults=None, fault_seed=0)
+        faulted = run_engine(tree, config, mapping, "memory-full", "soa")
+        clean = run_engine(tree, clean_cfg, mapping, "memory-full", "soa")
+        assert faulted.total_time > clean.total_time
+
+    def test_batched_faulted_matches_single(self):
+        """run_batch over faulted configs ≡ one simulator per faulted run."""
+        tree = random_tree(8)
+        config = SimulationConfig(nprocs=8)
+        mapping = compute_mapping(tree, 8)
+        configs = [
+            config,
+            config.replace(faults=FAULT_SPECS[0], fault_seed=3),
+            config.replace(faults=FAULT_SPECS[1], fault_seed=9),
+        ]
+        singles = []
+        scenarios = []
+        for cfg in configs:
+            slave, task = get_strategy("memory-full").build()
+            singles.append(
+                FactorizationSimulator(
+                    tree, config=cfg, mapping=mapping, slave_selector=slave,
+                    task_selector=task, engine="soa",
+                ).run()
+            )
+            slave2, task2 = get_strategy("memory-full").build()
+            scenarios.append(
+                BatchScenario(slave_selector=slave2, task_selector=task2,
+                              strategy_name="memory-full", config=cfg)
+            )
+        batched = run_batch(tree, scenarios, config=config, mapping=mapping)
+        for single, batch in zip(singles, batched):
+            assert_identical(batch, single)
+
+
 class TestEngineSelection:
     def test_env_var_selects_reference(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
